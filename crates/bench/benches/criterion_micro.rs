@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks: the validator's moving parts at several
+//! function sizes — gating (monadic gated SSA construction), shared-graph
+//! import + hash-consing, normalization, and end-to-end validation of a
+//! pipeline-optimized function.
+//!
+//! The paper's efficiency claim (§4.1) is that validation work is
+//! proportional to the number of transformations, not to program size:
+//! `validate_identity` (zero transformations) should stay near the cost of
+//! graph construction even as functions grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lir::func::{Function, Module};
+use lir_opt::paper_pipeline;
+use llvm_md_core::Validator;
+use llvm_md_workload::profiles;
+
+/// A generated module whose functions average roughly `size` instructions.
+fn sized_module(size: usize) -> Module {
+    let mut p = profiles()[0];
+    p.functions = 40;
+    p.tail_prob = 0.0;
+    p.avg_segment = (size / 12).max(2);
+    p.seed = size as u64 * 7 + 1;
+    llvm_md_workload::generate(&p)
+}
+
+/// The function closest to `size` instructions in `m`.
+fn pick(m: &Module, size: usize) -> &Function {
+    m.functions
+        .iter()
+        .min_by_key(|f| f.inst_count().abs_diff(size))
+        .expect("non-empty module")
+}
+
+fn bench_gating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gating");
+    for size in [16usize, 64, 256] {
+        let m = sized_module(size);
+        let f = pick(&m, size);
+        group.bench_with_input(BenchmarkId::from_parameter(f.inst_count()), f, |b, f| {
+            b.iter(|| gated_ssa::build(f).expect("gates"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_graph_import");
+    for size in [16usize, 64, 256] {
+        let m = sized_module(size);
+        let f = pick(&m, size);
+        let gf = gated_ssa::build(f).expect("gates");
+        group.bench_with_input(BenchmarkId::from_parameter(f.inst_count()), &gf, |b, gf| {
+            b.iter(|| {
+                let mut g = llvm_md_core::SharedGraph::new();
+                let map = g.import(gf);
+                let map2 = g.import(gf);
+                (map, map2)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate_identity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validate_identity");
+    let validator = Validator::new();
+    for size in [16usize, 64, 256] {
+        let m = sized_module(size);
+        let f = pick(&m, size);
+        group.bench_with_input(BenchmarkId::from_parameter(f.inst_count()), f, |b, f| {
+            b.iter(|| validator.validate(f, f));
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validate_pipeline");
+    group.sample_size(20);
+    let validator = Validator::new();
+    for size in [16usize, 64, 256] {
+        let m = sized_module(size);
+        let mut opt = m.clone();
+        paper_pipeline().run_module(&mut opt);
+        let fi = pick(&m, size);
+        let fo = opt.functions.iter().find(|f| f.name == fi.name).expect("same function");
+        group.bench_with_input(BenchmarkId::from_parameter(fi.inst_count()), &(fi, fo), |b, (fi, fo)| {
+            b.iter(|| validator.validate(fi, fo));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gating,
+    bench_shared_graph,
+    bench_validate_identity,
+    bench_validate_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 7: the effect of rewrite rules on LICM validation.
+//!
+//! LICM is run alone and validated under: (1) no rules, (2) all default
+//! rules, (3) all rules + libc knowledge. The paper's shape: the no-rule
+//! baseline is already 75–80% (the gating construction does not η-wrap
+//! loop-invariant values, so hoisting is invisible); all rules improve only
+//! slightly; the residual false alarms are `strlen`-style libc hoists,
+//! which disappear once libc knowledge is enabled (§5.3).
+
+use llvm_md_bench::{pct, scale_from_args, suite};
+use llvm_md_core::{RuleSet, Validator};
+use llvm_md_driver::run_single_pass;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 7: LICM validation % by rule configuration (1/{scale} scale)");
+    println!(
+        "{:12} {:>6} | {:>8} {:>8} {:>8}",
+        "benchmark", "xform", "none", "all", "all+libc"
+    );
+    println!("{}", "-".repeat(52));
+    let configs = [
+        RuleSet::none(),
+        RuleSet::all(),
+        RuleSet { libc: true, ..RuleSet::all() },
+    ];
+    let mut totals = vec![(0usize, 0usize); configs.len()];
+    for (p, m) in suite(scale) {
+        let mut row = format!("{:12}", p.name);
+        for (i, rules) in configs.iter().enumerate() {
+            let v = Validator { rules: *rules, ..Validator::new() };
+            let report = run_single_pass(&m, "licm", &v);
+            totals[i].0 += report.transformed();
+            totals[i].1 += report.validated();
+            if i == 0 {
+                row += &format!(" {:>6} |", report.transformed());
+            }
+            row += &format!(" {:>7.1}%", pct(report.validated(), report.transformed()));
+        }
+        println!("{row}");
+    }
+    println!("{}", "-".repeat(52));
+    print!("{:12} {:>6} |", "overall", totals[0].0);
+    for (t, v) in &totals {
+        print!(" {:>7.1}%", pct(*v, *t));
+    }
+    println!("\n\npaper shape: 75-80% baseline with no rules; small gain from general rules;");
+    println!("libc knowledge removes the residual strlen-hoist false alarms");
+}

@@ -1,0 +1,45 @@
+//! Table 1: test-suite information — per-benchmark assembly size, line
+//! count and function count; the paper's original numbers next to the
+//! generated stand-in suite.
+
+use llvm_md_bench::{scale_from_args, suite};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 1: test suite information (synthetic stand-ins at 1/{scale} scale)");
+    println!(
+        "{:12} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>9}",
+        "", "paper", "paper", "paper", "ours", "ours", "ours"
+    );
+    println!(
+        "{:12} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>9}",
+        "benchmark", "size", "LOC", "functions", "size", "LOC", "functions"
+    );
+    println!("{}", "-".repeat(78));
+    let mut tot_funcs_paper = 0u32;
+    let mut tot_funcs_ours = 0usize;
+    let mut tot_insts = 0usize;
+    for (p, m) in suite(scale) {
+        let text: String = m.functions.iter().map(|f| format!("{f}\n")).collect();
+        let loc = text.lines().count();
+        let size = text.len();
+        tot_funcs_paper += p.paper.functions;
+        tot_funcs_ours += m.functions.len();
+        tot_insts += m.inst_count();
+        println!(
+            "{:12} | {:>8} {:>7}K {:>9} | {:>7}K {:>8} {:>9}",
+            p.name,
+            p.paper.size,
+            p.paper.loc_k,
+            p.paper.functions,
+            size / 1024,
+            loc,
+            m.functions.len()
+        );
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:12} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>9}   ({} instructions total)",
+        "total", "", "", tot_funcs_paper, "", "", tot_funcs_ours, tot_insts
+    );
+}

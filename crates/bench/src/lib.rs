@@ -1,0 +1,92 @@
+//! `llvm-md-bench` — the harness that regenerates every table and figure of
+//! the paper's evaluation (§5).
+//!
+//! One binary per exhibit:
+//!
+//! | exhibit | binary | what it prints |
+//! |---|---|---|
+//! | Table 1 | `table1_suite` | per-benchmark size / LOC / #functions, paper vs generated |
+//! | Fig. 4 | `fig4_pipeline` | % functions validated under the full pipeline, per benchmark, plus wall-clock times (§5.1) |
+//! | Fig. 5 | `fig5_per_opt` | per-optimization transformed/validated counts per benchmark |
+//! | Fig. 6 | `fig6_gvn_rules` | GVN validation % as rule groups accumulate |
+//! | Fig. 7 | `fig7_licm_rules` | LICM validation %, no rules vs all rules vs +libc |
+//! | Fig. 8 | `fig8_sccp_rules` | SCCP validation % over its four rule configurations |
+//! | §5.4 | `ablation_cycle_matching` | unification vs partitioning vs combined |
+//!
+//! Criterion micro-benchmarks (gating, normalization, end-to-end validation
+//! at several function sizes) live in `benches/criterion_micro.rs`.
+//!
+//! Every binary accepts `--scale N` (default 4): benchmark function counts
+//! are divided by `N` so a full figure regenerates in seconds; `--scale 1`
+//! runs the full synthetic suite.
+
+use lir::func::Module;
+use llvm_md_workload::{generate, profiles, Profile};
+
+/// Parse a `--scale N` argument (default 4).
+pub fn scale_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+/// The benchmark suite at `1/scale` of the profile function counts.
+pub fn suite(scale: usize) -> Vec<(Profile, Module)> {
+    profiles()
+        .into_iter()
+        .map(|mut p| {
+            p.functions = (p.functions / scale).max(5);
+            let m = generate(&p);
+            (p, m)
+        })
+        .collect()
+}
+
+/// Render `validated/transformed` as a percentage (100% when nothing was
+/// transformed).
+pub fn pct(validated: usize, transformed: usize) -> f64 {
+    if transformed == 0 {
+        100.0
+    } else {
+        100.0 * validated as f64 / transformed as f64
+    }
+}
+
+/// A fixed-width horizontal bar for terminal "figures".
+pub fn bar(fraction: f64, width: usize) -> String {
+    let n = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_scales_down() {
+        let s = suite(50);
+        assert_eq!(s.len(), 12);
+        assert!(s.iter().all(|(p, m)| m.functions.len() == p.functions));
+        assert!(s.iter().all(|(p, _)| p.functions >= 5));
+    }
+
+    #[test]
+    fn pct_handles_zero() {
+        assert_eq!(pct(0, 0), 100.0);
+        assert_eq!(pct(1, 2), 50.0);
+    }
+
+    #[test]
+    fn bar_renders() {
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(1.2, 4), "####");
+    }
+}

@@ -1,0 +1,452 @@
+//! The shared value graph: both functions' gated-SSA graphs merged into one
+//! hash-consed structure with a union-find for rewrite-driven equalities.
+//!
+//! The validator's central data structure (paper §2): because both graphs
+//! live in one arena with structural interning, equal subexpressions of the
+//! original and the optimized function are *the same node*, and the final
+//! equality check is `find(root₁) == find(root₂)` — constant time in the
+//! best case.
+//!
+//! Rewrites record equalities in the union-find; [`SharedGraph::rebuild`]
+//! then restores maximal sharing by re-interning every node with canonical
+//! children until a fixpoint (congruence closure, the "maximize sharing"
+//! step of §4). μ-nodes keep their nominal identity through rebuilds, but
+//! two μs whose `(depth, init, next)` become identical are merged — this is
+//! how the cycle matcher's speculative unions become permanent structural
+//! equalities.
+
+use gated_ssa::node::{CalleeId, Node, NodeId, ValueGraph};
+use gated_ssa::GatedFunction;
+use std::collections::HashMap;
+
+/// A merged, rewritable value graph for one validation query.
+#[derive(Debug, Default)]
+pub struct SharedGraph {
+    nodes: Vec<Node>,
+    parent: Vec<u32>,
+    callees: Vec<String>,
+    callee_ids: HashMap<String, CalleeId>,
+    intern: HashMap<Node, NodeId>,
+}
+
+impl SharedGraph {
+    /// An empty shared graph.
+    pub fn new() -> SharedGraph {
+        SharedGraph::default()
+    }
+
+    /// Number of nodes ever created (including superseded ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The (possibly stale) node stored for `id`. Use [`SharedGraph::resolve`]
+    /// for a copy with canonical children.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The callee name for `id`.
+    pub fn callee_name(&self, id: CalleeId) -> &str {
+        &self.callees[id.index()]
+    }
+
+    /// Intern a callee name.
+    pub fn callee(&mut self, name: &str) -> CalleeId {
+        if let Some(&id) = self.callee_ids.get(name) {
+            return id;
+        }
+        let id = CalleeId(self.callees.len() as u32);
+        self.callees.push(name.to_owned());
+        self.callee_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Canonical representative of `id`.
+    pub fn find(&self, mut id: NodeId) -> NodeId {
+        // Path-compression-free find (the structure is rebuilt each round;
+        // chains stay short).
+        while self.parent[id.index()] != id.0 {
+            id = NodeId(self.parent[id.index()]);
+        }
+        id
+    }
+
+    /// Record that `a` and `b` denote the same value. The smaller id wins,
+    /// keeping representatives stable and deterministic. Use this for
+    /// *congruence* merges where both structures are interchangeable; a
+    /// rewrite that replaces structure must use [`SharedGraph::replace`].
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi.index()] = lo.0;
+        true
+    }
+
+    /// Record that `old` rewrites to `new`: both denote the same value and
+    /// `new`'s structure becomes the canonical one. This is the directed
+    /// form used by normalization rules (`a ↓ b` in the paper).
+    pub fn replace(&mut self, old: NodeId, new: NodeId) -> bool {
+        let (ra, rb) = (self.find(old), self.find(new));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra.index()] = rb.0;
+        true
+    }
+
+    /// True if `a` and `b` are known equal.
+    pub fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// A copy of `id`'s node with all children replaced by canonical
+    /// representatives, in canonical form: φ branches sorted and
+    /// de-duplicated, commutative operands ordered, comparisons oriented.
+    /// (GVN numbers `a+b` and `b+a` identically, so the graph must too for
+    /// hash-consing to share them.)
+    pub fn resolve(&self, id: NodeId) -> Node {
+        let mut n = self.nodes[self.find(id).index()].clone();
+        n.map_children(|c| self.find(c));
+        Self::canon_node(&mut n);
+        n
+    }
+
+    /// Structural canonical form: φ branches sorted and de-duplicated,
+    /// commutative operands ordered by id, comparisons oriented. Children
+    /// must already be canonical representatives.
+    fn canon_node(n: &mut Node) {
+        match n {
+            Node::Phi { branches } => {
+                let mut bs: Vec<(NodeId, NodeId)> = branches.to_vec();
+                bs.sort();
+                bs.dedup();
+                *branches = bs.into_boxed_slice();
+            }
+            Node::Bin(op, _, a, b) if op.is_commutative() && *a > *b => {
+                std::mem::swap(a, b);
+            }
+            Node::Icmp(pred, _, a, b) if *a > *b => {
+                std::mem::swap(a, b);
+                *pred = pred.swapped();
+            }
+            _ => {}
+        }
+    }
+
+    /// Add `node` (children must already be canonical or will be
+    /// canonicalized), interning structurally. μ-nodes are *not* interned;
+    /// use [`SharedGraph::new_mu`].
+    pub fn add(&mut self, mut node: Node) -> NodeId {
+        assert!(!node.is_mu(), "mu nodes are nominal; use new_mu");
+        node.map_children(|c| self.find(c));
+        Self::canon_node(&mut node);
+        if let Some(&id) = self.intern.get(&node) {
+            return self.find(id);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.parent.push(id.0);
+        self.intern.insert(node, id);
+        id
+    }
+
+    /// Allocate a fresh nominal μ-node.
+    pub fn new_mu(&mut self, depth: u32, init: NodeId, next: Option<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Mu { depth, init: self.find(init), next: next.map_or(id, |n| self.find(n)) });
+        self.parent.push(id.0);
+        id
+    }
+
+    /// Patch the back edge of μ-node `mu`.
+    pub fn patch_mu(&mut self, mu: NodeId, next_val: NodeId) {
+        let next_val = self.find(next_val);
+        let slot = self.find(mu).index();
+        match &mut self.nodes[slot] {
+            Node::Mu { next, .. } => *next = next_val,
+            n => panic!("patch_mu on non-mu node {}", n.opname()),
+        }
+    }
+
+    /// Replace the initial value of μ-node `mu` (used when specializing
+    /// loop cones).
+    pub fn set_mu_init(&mut self, mu: NodeId, init_val: NodeId) {
+        let init_val = self.find(init_val);
+        let slot = self.find(mu).index();
+        match &mut self.nodes[slot] {
+            Node::Mu { init, .. } => *init = init_val,
+            n => panic!("set_mu_init on non-mu node {}", n.opname()),
+        }
+    }
+
+    /// Import a per-function gated graph, returning a map from its node ids
+    /// to ids in this graph. Hash-consing extends across imports: nodes of
+    /// the second function re-use the first function's ids wherever the
+    /// structure matches (the *shared* graph of paper §2).
+    pub fn import(&mut self, gf: &GatedFunction) -> Vec<NodeId> {
+        let g: &ValueGraph = &gf.graph;
+        let mut map: Vec<NodeId> = Vec::with_capacity(g.len());
+        let mut callee_map: HashMap<CalleeId, CalleeId> = HashMap::new();
+        let mut mu_patches: Vec<(NodeId, NodeId)> = Vec::new(); // (our mu, their next)
+        for (their_id, n) in g.iter() {
+            let our = match n {
+                Node::Mu { depth, init, next } => {
+                    let mu = self.new_mu(*depth, map[init.index()], None);
+                    mu_patches.push((mu, *next));
+                    mu
+                }
+                _ => {
+                    let mut copy = n.clone();
+                    copy.map_children(|c| {
+                        assert!(c.index() < their_id.index() || g.node(c).is_mu(), "forward edge to non-mu");
+                        map[c.index()]
+                    });
+                    match &mut copy {
+                        Node::CallPure { callee, .. } | Node::CallVal { callee, .. } | Node::CallMem { callee, .. } => {
+                            let mapped = *callee_map
+                                .entry(*callee)
+                                .or_insert_with(|| {
+                                    let name = g.callee_name(*callee).to_owned();
+                                    self.callee(&name)
+                                });
+                            *callee = mapped;
+                        }
+                        _ => {}
+                    }
+                    self.add(copy)
+                }
+            };
+            map.push(our);
+        }
+        for (mu, their_next) in mu_patches {
+            self.patch_mu(mu, map[their_next.index()]);
+        }
+        map
+    }
+
+    /// Restore maximal sharing: canonicalize every node's children and
+    /// re-intern, merging nodes that become structurally identical, until a
+    /// fixpoint. Degenerate μ-nodes (`next == μ` or `next == init`) collapse
+    /// to their initial value — a constant stream *is* its value.
+    ///
+    /// Returns the number of unions performed.
+    pub fn rebuild(&mut self) -> usize {
+        let mut merged = 0;
+        loop {
+            let mut changed = false;
+            // Trivial μ collapse first: it can unlock congruences below.
+            for i in 0..self.nodes.len() {
+                let id = NodeId(i as u32);
+                if self.find(id) != id {
+                    continue;
+                }
+                if let Node::Mu { init, next, .. } = self.nodes[i].clone() {
+                    let (ri, rn) = (self.find(init), self.find(next));
+                    if rn == id || rn == ri {
+                        changed |= self.replace(id, ri);
+                        merged += 1;
+                    }
+                }
+            }
+            // Congruence: nodes with identical canonical structure merge.
+            self.intern.clear();
+            for i in 0..self.nodes.len() {
+                let id = NodeId(i as u32);
+                if self.find(id) != id {
+                    continue;
+                }
+                let key = self.resolve(id);
+                match self.intern.get(&key) {
+                    Some(&prev) => {
+                        let prev = self.find(prev);
+                        if prev != id {
+                            self.union(prev, id);
+                            merged += 1;
+                            changed = true;
+                        }
+                    }
+                    None => {
+                        self.intern.insert(key, id);
+                    }
+                }
+            }
+            if !changed {
+                return merged;
+            }
+        }
+    }
+
+    /// The set of nodes reachable from `roots` through canonical children.
+    pub fn live_set(&self, roots: &[NodeId]) -> Vec<bool> {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = roots.iter().map(|&r| self.find(r)).collect();
+        while let Some(n) = stack.pop() {
+            if live[n.index()] {
+                continue;
+            }
+            live[n.index()] = true;
+            self.nodes[n.index()].clone().for_each_child(|c| {
+                let c = self.find(c);
+                if !live[c.index()] {
+                    stack.push(c);
+                }
+            });
+        }
+        live
+    }
+
+    /// Live node count (for statistics).
+    pub fn live_count(&self, roots: &[NodeId]) -> usize {
+        self.live_set(roots).iter().filter(|&&b| b).count()
+    }
+
+    /// Render the canonical subgraph under `root` (cycles cut at μ).
+    pub fn display(&self, root: NodeId) -> String {
+        let mut out = String::new();
+        let mut on_path = vec![false; self.nodes.len()];
+        self.fmt_rec(self.find(root), &mut on_path, &mut out);
+        out
+    }
+
+    fn fmt_rec(&self, id: NodeId, on_path: &mut Vec<bool>, out: &mut String) {
+        use std::fmt::Write;
+        let id = self.find(id);
+        let n = self.node(id).clone();
+        if on_path[id.index()] {
+            let _ = write!(out, "mu{}", id.0);
+            return;
+        }
+        match &n {
+            Node::Param(i) => {
+                let _ = write!(out, "p{i}");
+            }
+            Node::Const(c) => {
+                let _ = write!(out, "{c}");
+            }
+            Node::GlobalAddr(g) => {
+                let _ = write!(out, "g{}", g.0);
+            }
+            Node::InitMem => out.push_str("M0"),
+            Node::InitAlloc => out.push_str("A0"),
+            _ => {
+                on_path[id.index()] = true;
+                let _ = write!(out, "({}", n.opname());
+                if n.is_mu() {
+                    let _ = write!(out, "{}", id.0);
+                }
+                n.for_each_child(|c| {
+                    out.push(' ');
+                    self.fmt_rec(c, on_path, out);
+                });
+                out.push(')');
+                on_path[id.index()] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::inst::BinOp;
+    use lir::types::Ty;
+    use lir::value::Constant;
+
+    fn leaf(g: &mut SharedGraph, i: u32) -> NodeId {
+        g.add(Node::Param(i))
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut g = SharedGraph::new();
+        let a = leaf(&mut g, 0);
+        let b = leaf(&mut g, 1);
+        assert!(!g.same(a, b));
+        assert!(g.union(a, b));
+        assert!(g.same(a, b));
+        assert!(!g.union(a, b), "already merged");
+        assert_eq!(g.find(b), a, "smaller id is the representative");
+    }
+
+    #[test]
+    fn congruence_closure_merges_parents() {
+        let mut g = SharedGraph::new();
+        let a = leaf(&mut g, 0);
+        let b = leaf(&mut g, 1);
+        let c = leaf(&mut g, 2);
+        let ab = g.add(Node::Bin(BinOp::Add, Ty::I64, a, b));
+        let ac = g.add(Node::Bin(BinOp::Add, Ty::I64, a, c));
+        assert!(!g.same(ab, ac));
+        g.union(b, c);
+        g.rebuild();
+        assert!(g.same(ab, ac), "congruence: b=c implies a+b = a+c");
+    }
+
+    #[test]
+    fn trivial_mu_collapses_on_rebuild() {
+        let mut g = SharedGraph::new();
+        let x = leaf(&mut g, 0);
+        let mu = g.new_mu(1, x, None); // next defaults to self
+        g.rebuild();
+        assert!(g.same(mu, x));
+        // mu(x, x) collapses too.
+        let mu2 = g.new_mu(1, x, Some(x));
+        g.rebuild();
+        assert!(g.same(mu2, x));
+    }
+
+    #[test]
+    fn identical_mu_structures_merge() {
+        let mut g = SharedGraph::new();
+        let zero = g.add(Node::Const(Constant::int(Ty::I64, 0)));
+        let one = g.add(Node::Const(Constant::int(Ty::I64, 1)));
+        let m1 = g.new_mu(1, zero, None);
+        let n1 = g.add(Node::Bin(BinOp::Add, Ty::I64, m1, one));
+        g.patch_mu(m1, n1);
+        let m2 = g.new_mu(1, zero, None);
+        let n2 = g.add(Node::Bin(BinOp::Add, Ty::I64, m2, one));
+        g.patch_mu(m2, n2);
+        assert!(!g.same(m1, m2), "nominal until proven equal");
+        // The cycle matcher would union them; simulate it:
+        g.union(m1, m2);
+        g.rebuild();
+        assert!(g.same(n1, n2), "bodies merge by congruence");
+    }
+
+    #[test]
+    fn import_shares_across_functions() {
+        use lir::parse::parse_module;
+        let src = "define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 3\n  ret i64 %x\n}\n";
+        let m = parse_module(src).unwrap();
+        let gf1 = gated_ssa::build(&m.functions[0]).unwrap();
+        let gf2 = gated_ssa::build(&m.functions[0]).unwrap();
+        let mut g = SharedGraph::new();
+        let map1 = g.import(&gf1);
+        let before = g.len();
+        let map2 = g.import(&gf2);
+        assert_eq!(g.len(), before, "second import adds no nodes");
+        assert_eq!(map1[gf1.ret.unwrap().index()], map2[gf2.ret.unwrap().index()]);
+    }
+
+    #[test]
+    fn live_set_follows_canonical_children() {
+        let mut g = SharedGraph::new();
+        let a = leaf(&mut g, 0);
+        let b = leaf(&mut g, 1);
+        let sum = g.add(Node::Bin(BinOp::Add, Ty::I64, a, b));
+        let live = g.live_set(&[sum]);
+        assert!(live[a.index()] && live[b.index()] && live[sum.index()]);
+        let c = leaf(&mut g, 2);
+        let live = g.live_set(&[sum]);
+        assert!(!live[c.index()]);
+    }
+}

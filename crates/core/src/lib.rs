@@ -1,0 +1,48 @@
+//! `llvm-md-core` — the normalizing value-graph translation validator
+//! (reproduction of Tristan, Govereau & Morrisett, *Evaluating Value-Graph
+//! Translation Validation for LLVM*, PLDI 2011).
+//!
+//! Given a function before and after optimization, the validator
+//!
+//! 1. converts both to monadic gated SSA ([`gated_ssa`]),
+//! 2. merges the two value graphs into one hash-consed [`SharedGraph`]
+//!    so equal subterms are equal node ids ([`graph`]),
+//! 3. **normalizes** the graph with rewrite [`rules`] that mirror what the
+//!    optimizer does — φ simplification, constant folding, alias-aware
+//!    memory rules, η rules and commuting rules, grouped exactly as the
+//!    paper's ablations toggle them — re-maximizing sharing after every
+//!    round, with μ-[`cycles`] matched by speculative unification and/or
+//!    Hopcroft partitioning,
+//! 4. answers `true` iff both functions' ⟨return value, observable final
+//!    memory⟩ roots normalize to the same nodes ([`validate`]).
+//!
+//! A `true` verdict means the optimized function has the same semantics for
+//! every terminating, non-trapping execution (the paper's guarantee, §2).
+//!
+//! # Example
+//!
+//! ```
+//! use lir::parse::parse_module;
+//! use llvm_md_core::validate::validate;
+//!
+//! let orig = parse_module(
+//!     "define i64 @f(i64 %a) {\nentry:\n  %x1 = add i64 3, 3\n  %x2 = mul i64 %a, %x1\n  %x3 = add i64 %x2, %x2\n  ret i64 %x3\n}\n",
+//! )?;
+//! let opt = parse_module(
+//!     "define i64 @f(i64 %a) {\nentry:\n  %y1 = mul i64 %a, 6\n  %y2 = shl i64 %y1, 1\n  ret i64 %y2\n}\n",
+//! )?;
+//! let verdict = validate(&orig.functions[0], &opt.functions[0]);
+//! assert!(verdict.validated);
+//! # Ok::<(), lir::parse::ParseError>(())
+//! ```
+
+pub mod alias;
+pub mod cycles;
+pub mod graph;
+pub mod rules;
+pub mod validate;
+
+pub use cycles::MatchStrategy;
+pub use graph::SharedGraph;
+pub use rules::{RewriteCounts, RuleBudgets, RuleSet};
+pub use validate::{validate, FailReason, Limits, ValidationStats, Validator, Verdict};

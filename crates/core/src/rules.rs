@@ -1,0 +1,1191 @@
+//! Normalization rules (paper §4).
+//!
+//! Rules are grouped exactly as the paper's ablation studies toggle them
+//! (Figs. 6–8):
+//!
+//! | group | contents |
+//! |---|---|
+//! | [`RuleSet::phi`] | boolean rules (1)–(4) and φ rules (5)–(6) |
+//! | [`RuleSet::constfold`] | integer constant folding, arithmetic identities and LLVM canonicalizations (`a+a ↓ shl a 1`, `mul a 2ᵏ ↓ shl a k`, `add x (−k) ↓ sub x k`, constant-to-the-right comparison swaps) |
+//! | [`RuleSet::loadstore`] | rules (10)–(11), store-over-store elimination, non-aliasing store reordering, loads jumping over loop memory, and the observable-memory purge of dead stack stores |
+//! | [`RuleSet::eta`] | rules (7)–(9): η over an invariant stream drops, η whose exit fires on the first iteration projects the first value |
+//! | [`RuleSet::commuting`] | η push-down toward the matching μs, φ-congruence pulling (`φ{c→f(a), ¬c→f(b)} ↓ f(φ{c→a,¬c→b})`), commutative operand ordering, and graph-level loop unswitching |
+//! | [`RuleSet::libc`] | opt-in "insider knowledge of libc" (§5.3): `strlen`/`atoi` jump non-aliasing stores and loops, `memset` forwarding |
+//! | [`RuleSet::float`] | opt-in floating-point constant folding (off by default, as in the paper) |
+//!
+//! Every rule *replaces a node by an equal node*: applying one records a
+//! union in the [`SharedGraph`]; the engine then rebuilds hash-consing and
+//! repeats, mirroring "apply rules / maximize sharing" from §4.
+
+use crate::alias::{must_alias, no_alias, ptr_info, stack_rooted, Escapes, GBase};
+use crate::graph::SharedGraph;
+use gated_ssa::node::{Node, NodeId};
+use lir::inst::{eval_binop, eval_cast, eval_fbinop, eval_fcmp, eval_icmp, BinOp, CastOp, IcmpPred};
+use lir::types::Ty;
+use lir::value::Constant;
+use std::collections::HashMap;
+
+/// Which rule groups are enabled. Mirrors the paper's ablation axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Boolean rules (1)–(4) and φ simplification (5)–(6).
+    pub phi: bool,
+    /// Constant folding, identities, LLVM canonicalizations.
+    pub constfold: bool,
+    /// Memory rules (10)–(11) and friends.
+    pub loadstore: bool,
+    /// η rules (7)–(9).
+    pub eta: bool,
+    /// Commuting rules (η push-down, φ pulling, operand ordering, unswitch).
+    pub commuting: bool,
+    /// libc knowledge (opt-in; §5.3).
+    pub libc: bool,
+    /// Floating-point folding (opt-in; the paper leaves it out).
+    pub float: bool,
+}
+
+impl RuleSet {
+    /// No rules at all: pure symbolic evaluation + hash-consing.
+    pub fn none() -> RuleSet {
+        RuleSet { phi: false, constfold: false, loadstore: false, eta: false, commuting: false, libc: false, float: false }
+    }
+
+    /// The paper's default configuration: every general and
+    /// optimization-specific rule, but no libc knowledge and no float
+    /// folding (their stated false-alarm sources).
+    pub fn all() -> RuleSet {
+        RuleSet { phi: true, constfold: true, loadstore: true, eta: true, commuting: true, libc: false, float: false }
+    }
+
+    /// Everything, including the opt-in groups.
+    pub fn full() -> RuleSet {
+        RuleSet { libc: true, float: true, ..RuleSet::all() }
+    }
+
+    /// The cumulative configurations of Fig. 6 (GVN): 1 = no rules,
+    /// 2 = +φ, 3 = +constant folding, 4 = +load/store, 5 = +η,
+    /// 6 = +commuting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not in `1..=6`.
+    pub fn fig6_step(step: usize) -> RuleSet {
+        assert!((1..=6).contains(&step), "fig6 has steps 1..=6");
+        let mut r = RuleSet::none();
+        if step >= 2 {
+            r.phi = true;
+        }
+        if step >= 3 {
+            r.constfold = true;
+        }
+        if step >= 4 {
+            r.loadstore = true;
+        }
+        if step >= 5 {
+            r.eta = true;
+        }
+        if step >= 6 {
+            r.commuting = true;
+        }
+        r
+    }
+
+    /// The cumulative configurations of Fig. 8 (SCCP): 1 = no rules,
+    /// 2 = +constant folding, 3 = +φ, 4 = all rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not in `1..=4`.
+    pub fn fig8_step(step: usize) -> RuleSet {
+        assert!((1..=4).contains(&step), "fig8 has steps 1..=4");
+        match step {
+            1 => RuleSet::none(),
+            2 => RuleSet { constfold: true, ..RuleSet::none() },
+            3 => RuleSet { constfold: true, phi: true, ..RuleSet::none() },
+            _ => RuleSet::all(),
+        }
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::all()
+    }
+}
+
+/// Rewrite counts per rule group (for reports and the fig. 6–8 harness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteCounts {
+    /// φ/boolean rewrites.
+    pub phi: u64,
+    /// Constant folds and canonicalizations.
+    pub constfold: u64,
+    /// Memory rewrites.
+    pub loadstore: u64,
+    /// η rewrites.
+    pub eta: u64,
+    /// Commuting rewrites.
+    pub commuting: u64,
+    /// libc rewrites.
+    pub libc: u64,
+    /// Float folds.
+    pub float: u64,
+}
+
+impl RewriteCounts {
+    /// Total rewrites.
+    pub fn total(&self) -> u64 {
+        self.phi + self.constfold + self.loadstore + self.eta + self.commuting + self.libc + self.float
+    }
+}
+
+/// Mutable per-query rule budgets. The graph-level unswitch rule clones
+/// loop cones; speculative splits that the other side never made leave
+/// unmatched clones behind, so the rule is **off by default** (budget 0)
+/// and enabled explicitly via [`Validator`](crate::validate::Validator)
+/// limits when hunting unswitch-shaped divergences. Multi-exit loops
+/// produce φ-over-η shapes organically, which defeats purely structural
+/// evidence for "the other side unswitched here" — the paper's observation
+/// that complex φs are where "essentially all of the technical
+/// difficulties lie" (§5.4).
+#[derive(Clone, Copy, Debug)]
+pub struct RuleBudgets {
+    /// Remaining graph-level loop unswitchings.
+    pub unswitches: u32,
+}
+
+impl Default for RuleBudgets {
+    fn default() -> Self {
+        RuleBudgets { unswitches: 0 }
+    }
+}
+
+/// Which group produced a rewrite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Group {
+    Phi,
+    ConstFold,
+    LoadStore,
+    Eta,
+    Commuting,
+    Libc,
+    Float,
+}
+
+/// Apply one sweep of the enabled rules over the live graph. Returns the
+/// number of rewrites performed (0 = fixpoint reached).
+pub fn apply_rules(
+    g: &mut SharedGraph,
+    roots: &[NodeId],
+    rules: &RuleSet,
+    counts: &mut RewriteCounts,
+    budgets: &mut RuleBudgets,
+) -> usize {
+    let live = g.live_set(roots);
+    let esc = Escapes::compute(g, &live);
+    let dead = dead_allocas(g, &live, &esc);
+    let evidence = unswitch_evidence(g, &live);
+    let mut rewrites = 0;
+    let upper = live.len(); // nodes added during the sweep are visited next round
+    for i in 0..upper {
+        if !live[i] {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        if g.find(id) != id {
+            continue;
+        }
+        if let Some((new, group)) = rewrite_node(g, id, rules, &esc, &dead, &evidence, budgets) {
+            if g.replace(id, new) {
+                rewrites += 1;
+                match group {
+                    Group::Phi => counts.phi += 1,
+                    Group::ConstFold => counts.constfold += 1,
+                    Group::LoadStore => counts.loadstore += 1,
+                    Group::Eta => counts.eta += 1,
+                    Group::Commuting => counts.commuting += 1,
+                    Group::Libc => counts.libc += 1,
+                    Group::Float => counts.float += 1,
+                }
+            }
+        }
+    }
+    rewrites
+}
+
+fn rewrite_node(
+    g: &mut SharedGraph,
+    id: NodeId,
+    rules: &RuleSet,
+    esc: &Escapes,
+    dead: &std::collections::HashSet<NodeId>,
+    evidence: &std::collections::HashSet<NodeId>,
+    budgets: &mut RuleBudgets,
+) -> Option<(NodeId, Group)> {
+    let n = g.resolve(id);
+    if rules.phi {
+        if let Some(new) = try_phi(g, &n) {
+            return Some((new, Group::Phi));
+        }
+    }
+    if rules.constfold {
+        if let Some(new) = try_constfold(g, &n) {
+            return Some((new, Group::ConstFold));
+        }
+    }
+    if rules.loadstore {
+        if let Some(new) = try_loadstore(g, &n, esc, dead, rules) {
+            return Some((new, Group::LoadStore));
+        }
+    }
+    if rules.eta {
+        if let Some(new) = try_eta(g, &n) {
+            return Some((new, Group::Eta));
+        }
+    }
+    if rules.commuting {
+        if let Some(new) = try_commuting(g, &n, evidence, budgets) {
+            return Some((new, Group::Commuting));
+        }
+    }
+    if rules.libc {
+        if let Some(new) = try_libc(g, &n, esc) {
+            return Some((new, Group::Libc));
+        }
+    }
+    if rules.float {
+        if let Some(new) = try_float(g, &n) {
+            return Some((new, Group::Float));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Small constructors shared by the rules.
+// ---------------------------------------------------------------------------
+
+fn konst(g: &mut SharedGraph, c: Constant) -> NodeId {
+    g.add(Node::Const(c))
+}
+
+fn bool_const(g: &mut SharedGraph, b: bool) -> NodeId {
+    konst(g, Constant::bool(b))
+}
+
+fn as_const(g: &SharedGraph, n: NodeId) -> Option<Constant> {
+    match g.node(g.find(n)) {
+        Node::Const(c) => Some(*c),
+        _ => None,
+    }
+}
+
+fn as_int_bits(g: &SharedGraph, n: NodeId) -> Option<u64> {
+    as_const(g, n).and_then(Constant::as_bits)
+}
+
+fn is_const_bool(g: &SharedGraph, n: NodeId, want: bool) -> bool {
+    as_const(g, n).is_some_and(|c| if want { c.is_true() } else { c.is_false() })
+}
+
+fn mk_not(g: &mut SharedGraph, x: NodeId) -> NodeId {
+    if let Some(c) = as_const(g, x) {
+        if c.is_true() {
+            return bool_const(g, false);
+        }
+        if c.is_false() {
+            return bool_const(g, true);
+        }
+    }
+    if let Node::Bin(BinOp::Xor, Ty::I1, a, b) = *g.node(g.find(x)) {
+        if is_const_bool(g, b, true) {
+            return a;
+        }
+        if is_const_bool(g, a, true) {
+            return b;
+        }
+    }
+    let t = bool_const(g, true);
+    g.add(Node::Bin(BinOp::Xor, Ty::I1, x, t))
+}
+
+// ---------------------------------------------------------------------------
+// φ and boolean rules (paper rules 1–6).
+// ---------------------------------------------------------------------------
+
+fn try_phi(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
+    match n {
+        // Rules (1)–(2): comparisons of a value with itself.
+        Node::Icmp(pred, _, a, b) if g.same(*a, *b) => {
+            use IcmpPred::*;
+            let v = match pred {
+                Eq | Ule | Uge | Sle | Sge => true,
+                Ne | Ult | Ugt | Slt | Sgt => false,
+            };
+            Some(bool_const(g, v))
+        }
+        // Rules (3)–(4): comparisons with boolean constants.
+        Node::Icmp(pred, Ty::I1, a, b) if matches!(pred, IcmpPred::Eq | IcmpPred::Ne) => {
+            let (x, k) = if as_const(g, *b).is_some() {
+                (*a, *b)
+            } else if as_const(g, *a).is_some() {
+                (*b, *a)
+            } else {
+                return None;
+            };
+            let kc = as_const(g, k)?;
+            let keep = (kc.is_true() && *pred == IcmpPred::Eq) || (kc.is_false() && *pred == IcmpPred::Ne);
+            if !kc.is_true() && !kc.is_false() {
+                return None;
+            }
+            Some(if keep { x } else { mk_not(g, x) })
+        }
+        Node::Phi { branches } => {
+            // Rule (5): a branch whose conditions are all true wins.
+            if let Some(&(_, v)) = branches.iter().find(|(c, _)| is_const_bool(g, *c, true)) {
+                return Some(v);
+            }
+            // Dead branches (condition false) are dropped.
+            let live: Vec<(NodeId, NodeId)> =
+                branches.iter().copied().filter(|(c, _)| !is_const_bool(g, *c, false)).collect();
+            if live.len() < branches.len() {
+                return Some(rebuild_phi(g, live));
+            }
+            // Rule (6): all branches carry the same value.
+            if let Some(&(_, v0)) = branches.first() {
+                if branches.iter().all(|(_, v)| g.same(*v, v0)) {
+                    return Some(v0);
+                }
+            }
+            // Boolean φ of its own gate: φ{c→true, d→false} is c.
+            if branches.len() == 2 {
+                let (c0, v0) = branches[0];
+                let (c1, v1) = branches[1];
+                if is_const_bool(g, v0, true) && is_const_bool(g, v1, false) {
+                    return Some(c0);
+                }
+                if is_const_bool(g, v0, false) && is_const_bool(g, v1, true) {
+                    return Some(c1);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn rebuild_phi(g: &mut SharedGraph, branches: Vec<(NodeId, NodeId)>) -> NodeId {
+    match branches.as_slice() {
+        [] => bool_const(g, false), // unreachable value
+        [(_, v)] => *v,
+        _ => g.add(Node::Phi { branches: branches.into_boxed_slice() }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding, identities and LLVM canonicalizations.
+// ---------------------------------------------------------------------------
+
+fn try_constfold(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
+    match n {
+        Node::Bin(op, ty, a, b) => {
+            // Fold const op const.
+            if let (Some(x), Some(y)) = (as_int_bits(g, *a), as_int_bits(g, *b)) {
+                if let Ok(v) = eval_binop(*op, *ty, x, y) {
+                    return Some(konst(g, Constant::int(*ty, ty.sext(v))));
+                }
+                return None; // trapping fold: leave it alone
+            }
+            // For commutative ops the constant may sit on either side
+            // (operand order is canonicalized by id, not by kind).
+            let (a, b) = if op.is_commutative() && as_const(g, *a).is_some() && as_const(g, *b).is_none() {
+                (b, a)
+            } else {
+                (a, b)
+            };
+            let kb = as_int_bits(g, *b);
+            let ones = ty.mask();
+            match (op, kb) {
+                // x + 0, x - 0, x << 0, x >> 0, x | 0, x ^ 0 are x.
+                (BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr | BinOp::Or | BinOp::Xor, Some(0)) => {
+                    return Some(*a)
+                }
+                // x * 1 and x / 1 are x; x * 0 and 0 are 0.
+                (BinOp::Mul | BinOp::UDiv | BinOp::SDiv, Some(1)) => return Some(*a),
+                (BinOp::Mul, Some(0)) | (BinOp::And, Some(0)) => return Some(konst(g, Constant::int(*ty, 0))),
+                (BinOp::URem | BinOp::SRem, Some(1)) => return Some(konst(g, Constant::int(*ty, 0))),
+                (BinOp::And, Some(k)) if k == ones => return Some(*a),
+                (BinOp::Or, Some(k)) if k == ones => return Some(konst(g, Constant::int(*ty, ty.sext(ones)))),
+                // mul a 2^k  ↓  shl a k  (LLVM prefers the shift; paper §4).
+                (BinOp::Mul, Some(k)) if k.is_power_of_two() => {
+                    let sh = konst(g, Constant::int(*ty, k.trailing_zeros() as i64));
+                    return Some(g.add(Node::Bin(BinOp::Shl, *ty, *a, sh)));
+                }
+                // add x (−k)  ↓  sub x k  (paper §4).
+                (BinOp::Add, Some(k)) if *ty != Ty::I1 && ty.sext(k) < 0 => {
+                    let pos = konst(g, Constant::int(*ty, -ty.sext(k)));
+                    return Some(g.add(Node::Bin(BinOp::Sub, *ty, *a, pos)));
+                }
+                _ => {}
+            }
+            // x - x = 0, x ^ x = 0, x & x = x, x | x = x.
+            if g.same(*a, *b) {
+                match op {
+                    BinOp::Sub | BinOp::Xor => return Some(konst(g, Constant::int(*ty, 0))),
+                    BinOp::And | BinOp::Or => return Some(*a),
+                    // a + a  ↓  shl a 1  (paper §4).
+                    BinOp::Add if *ty != Ty::I1 => {
+                        let one = konst(g, Constant::int(*ty, 1));
+                        return Some(g.add(Node::Bin(BinOp::Shl, *ty, *a, one)));
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        Node::Icmp(pred, ty, a, b) => {
+            if let (Some(x), Some(y)) = (as_int_bits(g, *a), as_int_bits(g, *b)) {
+                return Some(bool_const(g, eval_icmp(*pred, *ty, x, y)));
+            }
+            None
+        }
+        Node::Cast(op, from, to, v) => {
+            if matches!(op, CastOp::Zext | CastOp::Sext | CastOp::Trunc) {
+                if let Some(x) = as_int_bits(g, *v) {
+                    return Some(konst(g, Constant::int(*to, to.sext(eval_cast(*op, *from, *to, x)))));
+                }
+            }
+            None
+        }
+        // gep p, 0  is  p.
+        Node::Gep(p, off) if as_int_bits(g, *off) == Some(0) => Some(*p),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory rules (paper rules 10–11 and the DSE/ObsMem family).
+// ---------------------------------------------------------------------------
+
+fn try_loadstore(
+    g: &mut SharedGraph,
+    n: &Node,
+    esc: &Escapes,
+    dead: &std::collections::HashSet<NodeId>,
+    rules: &RuleSet,
+) -> Option<NodeId> {
+    match n {
+        Node::Load { ty, ptr, mem } => match g.resolve(*mem) {
+            // Rule (11): load of a just-stored value.
+            Node::Store { ty: sty, val, ptr: q, mem: m2 } => {
+                if sty == *ty && must_alias(g, *ptr, q) {
+                    return Some(val);
+                }
+                // Rule (10): the load jumps over a non-aliasing store.
+                if no_alias(g, Some(esc), *ptr, ty.bytes(), q, sty.bytes()) {
+                    return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: m2 }));
+                }
+                None
+            }
+            // Loads jump over loops whose stores can't alias the pointer
+            // (what GVN+LICM exploit to keep loads out of loops).
+            Node::Mu { init, .. } => {
+                let writers = collect_loop_writers(g, g.find(*mem))?;
+                let callmem_involved = writers.iter().any(|w| w.is_call);
+                if callmem_involved && !rules.libc {
+                    return None;
+                }
+                if writers
+                    .iter()
+                    .all(|w| no_alias(g, Some(esc), *ptr, ty.bytes(), w.ptr, w.size))
+                {
+                    return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: init }));
+                }
+                None
+            }
+            _ => None,
+        },
+        Node::Store { ty, val, ptr, mem } => {
+            // Dead-alloca purge: nothing ever reads this allocation.
+            if let GBase::Alloca(a) = ptr_info(g, *ptr).base {
+                if dead.contains(&g.find(a)) {
+                    return Some(*mem);
+                }
+            }
+            // Storing back a value just loaded from the same place is a no-op.
+            if let Node::Load { ty: lty, ptr: lp, mem: lm } = g.resolve(*val) {
+                if lty == *ty && g.same(lm, *mem) && must_alias(g, lp, *ptr) {
+                    return Some(*mem);
+                }
+            }
+            if let Node::Store { ty: ity, val: ival, ptr: q, mem: m2 } = g.resolve(*mem) {
+                // Store-over-store (DSE): the inner store is overwritten.
+                if ity == *ty && must_alias(g, *ptr, q) {
+                    return Some(g.add(Node::Store { ty: *ty, val: *val, ptr: *ptr, mem: m2 }));
+                }
+                // Canonical order for provably independent stores, so chains
+                // compare equal regardless of emission order and dead stack
+                // stores can bubble up to the ObsMem root.
+                if no_alias(g, Some(esc), *ptr, ty.bytes(), q, ity.bytes()) && g.find(q) < g.find(*ptr) {
+                    let inner = g.add(Node::Store { ty: *ty, val: *val, ptr: *ptr, mem: m2 });
+                    return Some(g.add(Node::Store { ty: ity, val: ival, ptr: q, mem: inner }));
+                }
+            }
+            None
+        }
+        // The observable-memory root ignores stores to stack memory (dead
+        // at return) and distributes over merges. Stack stores deeper in
+        // the chain are removed by the dead-alloca purge below once nothing
+        // loads from them.
+        Node::ObsMem(m) => match g.resolve(*m) {
+            Node::Store { ptr, mem, .. } if stack_rooted(g, ptr) => Some(g.add(Node::ObsMem(mem))),
+            Node::CallMem { callee, args, mem } => {
+                let name = g.callee_name(callee).to_owned();
+                if rules.libc && write_dest(&name).is_some() && stack_rooted(g, args[0]) {
+                    Some(g.add(Node::ObsMem(mem)))
+                } else {
+                    None
+                }
+            }
+            Node::Phi { branches } => {
+                let bs: Vec<(NodeId, NodeId)> =
+                    branches.iter().map(|&(c, v)| (c, g.add(Node::ObsMem(v)))).collect();
+                Some(g.add(Node::Phi { branches: bs.into_boxed_slice() }))
+            }
+            Node::Eta { depth, cond, val } => {
+                let inner = g.add(Node::ObsMem(val));
+                Some(g.add(Node::Eta { depth, cond, val: inner }))
+            }
+            Node::InitMem => Some(g.add(Node::InitMem)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Allocas whose contents are provably never observed: non-escaping and
+/// not may-aliased by any live load. Stores to them are invisible —
+/// removing them from memory chains is the validator's mirror of DSE.
+/// Recomputed every sweep: once a load is rewritten away, the alloca it
+/// read may become dead on the next sweep.
+fn dead_allocas(g: &SharedGraph, live: &[bool], esc: &Escapes) -> std::collections::HashSet<NodeId> {
+    let mut allocas = Vec::new();
+    let mut reads: Vec<(NodeId, u64)> = Vec::new();
+    for i in 0..live.len() {
+        if !live[i] {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        if g.find(id) != id {
+            continue;
+        }
+        match g.node(id) {
+            Node::Alloca { size, .. } => allocas.push((id, *size)),
+            Node::Load { ty, ptr, .. } => reads.push((g.find(*ptr), ty.bytes())),
+            _ => {}
+        }
+    }
+    allocas
+        .into_iter()
+        .filter(|&(a, asize)| {
+            !esc.escaped(g, a)
+                && reads
+                    .iter()
+                    .all(|&(p, psize)| !crate::alias::may_alias(g, Some(esc), p, psize, a, asize))
+        })
+        .map(|(a, _)| a)
+        .collect()
+}
+
+/// A memory write found in a loop's cycle.
+struct LoopWriter {
+    ptr: NodeId,
+    size: u64,
+    is_call: bool,
+}
+
+/// Collect every write in the memory cycle of μ-node `mu` (following memory
+/// chains from `next` back to the μ). Returns `None` when an unknown writer
+/// (arbitrary call) or unexpected structure is found.
+fn collect_loop_writers(g: &SharedGraph, mu: NodeId) -> Option<Vec<LoopWriter>> {
+    let next = match g.node(mu) {
+        Node::Mu { next, .. } => g.find(*next),
+        _ => return None,
+    };
+    let mut out = Vec::new();
+    let mut stack = vec![next];
+    let mut seen = std::collections::HashSet::new();
+    let mut steps = 0;
+    while let Some(m) = stack.pop() {
+        let m = g.find(m);
+        if m == mu || !seen.insert(m) {
+            continue;
+        }
+        steps += 1;
+        if steps > 512 {
+            return None;
+        }
+        match g.resolve(m) {
+            Node::Store { ty, ptr, mem, .. } => {
+                out.push(LoopWriter { ptr, size: ty.bytes(), is_call: false });
+                stack.push(mem);
+            }
+            Node::CallMem { callee, args, mem } => {
+                let name = g.callee_name(callee);
+                let (di, li) = write_dest(name)?;
+                let size = as_int_bits(g, args[li]).unwrap_or(u64::MAX);
+                out.push(LoopWriter { ptr: args[di], size, is_call: true });
+                stack.push(mem);
+            }
+            Node::Phi { branches } => {
+                for (_, v) in branches.iter() {
+                    stack.push(*v);
+                }
+            }
+            Node::Eta { val, .. } => stack.push(val),
+            Node::Mu { init, next, .. } => {
+                // An inner loop's memory μ: both its entry and its body are
+                // part of the outer cycle.
+                stack.push(init);
+                stack.push(next);
+            }
+            _ => return None, // escaped the cycle: unexpected shape
+        }
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// η rules (paper rules 7–9).
+// ---------------------------------------------------------------------------
+
+/// Does the value of `v` vary across iterations of a depth-`d` loop?
+///
+/// Structural check: a raw μ at depth `d` reachable without crossing an η
+/// that closes a loop at depth ≤ `d` (or entering an outer loop's μ). The
+/// gating construction guarantees inner-loop values only escape through
+/// their η, so any raw μ at depth `d` found this way belongs to the loop in
+/// question.
+pub fn varies_at_depth(g: &SharedGraph, v: NodeId, d: u32) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![g.find(v)];
+    while let Some(n) = stack.pop() {
+        let n = g.find(n);
+        if !seen.insert(n) {
+            continue;
+        }
+        match g.node(n) {
+            Node::Mu { depth, .. } if *depth == d => return true,
+            Node::Mu { depth, .. } if *depth < d => continue,
+            Node::Eta { depth, .. } if *depth <= d => continue,
+            other => other.for_each_child(|c| stack.push(c)),
+        }
+    }
+    false
+}
+
+/// Project the per-iteration stream `n` of a depth-`d` loop to its value at
+/// the *first* iteration (μs of the loop become their initial values).
+/// Returns `None` when the projection would require cloning inner loops or
+/// exceeds the node budget.
+fn project_first(g: &mut SharedGraph, n: NodeId, d: u32, budget: &mut u32, memo: &mut HashMap<NodeId, Option<NodeId>>) -> Option<NodeId> {
+    let n = g.find(n);
+    if !varies_at_depth(g, n, d) {
+        return Some(n);
+    }
+    if let Some(cached) = memo.get(&n) {
+        return *cached;
+    }
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    memo.insert(n, None); // cycle guard: fail re-entrant projections
+    let res = match g.resolve(n) {
+        Node::Mu { depth, init, .. } if depth == d => Some(g.find(init)),
+        // Cloning inner loops or crossing η is out of budget for a
+        // normalization rule; bail.
+        Node::Mu { .. } | Node::Eta { .. } => None,
+        mut other => {
+            let mut ok = true;
+            let mut proj: HashMap<NodeId, NodeId> = HashMap::new();
+            other.for_each_child(|c| {
+                if ok && !proj.contains_key(&c) {
+                    match project_first(g, c, d, budget, memo) {
+                        Some(p) => {
+                            proj.insert(c, p);
+                        }
+                        None => ok = false,
+                    }
+                }
+            });
+            if ok {
+                other.map_children(|c| proj[&c]);
+                Some(g.add(other))
+            } else {
+                None
+            }
+        }
+    };
+    memo.insert(n, res);
+    res
+}
+
+fn try_eta(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
+    let Node::Eta { depth, cond, val } = *n else {
+        return None;
+    };
+    // Rules (8)–(9): the stream does not vary in this loop.
+    if !varies_at_depth(g, val, depth) {
+        return Some(g.find(val));
+    }
+    // η(c, c): the condition at the exit iteration is true by definition.
+    if g.same(cond, val) {
+        return Some(bool_const(g, true));
+    }
+    // Rule (7): the loop exits on its first iteration; the η selects the
+    // first value of the stream.
+    let mut budget = 96;
+    let mut memo = HashMap::new();
+    let first_cond = project_first(g, cond, depth, &mut budget, &mut memo)?;
+    if is_const_bool(g, first_cond, true) {
+        let mut budget = 96;
+        let mut memo = HashMap::new();
+        return project_first(g, val, depth, &mut budget, &mut memo);
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Commuting rules: η push-down, φ pulling, operand ordering, unswitching.
+// ---------------------------------------------------------------------------
+
+fn eta_or_self(g: &mut SharedGraph, depth: u32, cond: NodeId, v: NodeId) -> NodeId {
+    if varies_at_depth(g, v, depth) {
+        if g.same(cond, v) {
+            return bool_const(g, true);
+        }
+        g.add(Node::Eta { depth, cond, val: v })
+    } else {
+        g.find(v)
+    }
+}
+
+/// Conditions under which some side of the graph already holds a
+/// post-unswitch shape: a φ branch gated on the condition whose value is a
+/// loop exit (η). The graph-level unswitch rule only splits loops on such
+/// conditions — splitting speculatively on every invariant gate clones
+/// loops the other side never split, and the clones then fail to match.
+fn unswitch_evidence(g: &SharedGraph, live: &[bool]) -> std::collections::HashSet<NodeId> {
+    let mut ev = std::collections::HashSet::new();
+    for i in 0..live.len() {
+        if !live[i] {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        if g.find(id) != id {
+            continue;
+        }
+        if let Node::Phi { branches } = g.resolve(id) {
+            for (c, v) in branches.iter() {
+                if matches!(g.node(g.find(*v)), Node::Eta { .. }) {
+                    let c = g.find(*c);
+                    ev.insert(c);
+                    // A negated gate counts as evidence for the positive.
+                    if let Node::Bin(BinOp::Xor, Ty::I1, x, t) = *g.node(c) {
+                        if matches!(g.node(g.find(t)), Node::Const(k) if k.is_true()) {
+                            ev.insert(g.find(x));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ev
+}
+
+fn try_commuting(
+    g: &mut SharedGraph,
+    n: &Node,
+    evidence: &std::collections::HashSet<NodeId>,
+    budgets: &mut RuleBudgets,
+) -> Option<NodeId> {
+    match n {
+        // η push-down: move ηs toward the μs they select from (the paper's
+        // "push down η-nodes to get them close to the matching μ-nodes").
+        Node::Eta { depth, cond, val } => {
+            let inner = g.resolve(*val);
+            // Pure operators only: pushing η into memory nodes would bury
+            // store chains under η wrappers and starve rules (10)-(11).
+            let pushable = matches!(
+                inner,
+                Node::Bin(..)
+                    | Node::FBin(..)
+                    | Node::Icmp(..)
+                    | Node::Fcmp(..)
+                    | Node::Cast(..)
+                    | Node::Gep(..)
+                    | Node::Phi { .. }
+            );
+            if !pushable {
+                if budgets.unswitches == 0 {
+                    return None;
+                }
+                let r = try_unswitch(g, *depth, *cond, *val, evidence);
+                if r.is_some() {
+                    budgets.unswitches -= 1;
+                }
+                return r;
+            }
+            let mut inner = inner;
+            let (d, c) = (*depth, *cond);
+            let mut mapped: HashMap<NodeId, NodeId> = HashMap::new();
+            inner.for_each_child(|ch| {
+                mapped.entry(ch).or_insert_with(|| eta_or_self(g, d, c, ch));
+            });
+            inner.map_children(|ch| mapped[&ch]);
+            Some(g.add(inner))
+        }
+        // φ pulling: φ{c→f(a…), d→f(b…)} with a uniform slot becomes
+        // f(φ{c→a…}) — this is how unswitched loop bodies re-merge.
+        Node::Phi { branches } if branches.len() >= 2 => {
+            let shapes: Vec<Node> = branches.iter().map(|(_, v)| g.resolve(*v)).collect();
+            let first = &shapes[0];
+            let arity = first.children().len();
+            if arity == 0 {
+                return None;
+            }
+            let same_shape = shapes.iter().all(|s| {
+                let mut a = s.clone();
+                let mut b = first.clone();
+                a.map_children(|_| NodeId(0));
+                b.map_children(|_| NodeId(0));
+                a == b
+            });
+            if !same_shape {
+                return None;
+            }
+            let child_rows: Vec<Vec<NodeId>> = shapes.iter().map(Node::children).collect();
+            let uniform = (0..arity).any(|j| child_rows.iter().all(|r| g.same(r[j], child_rows[0][j])));
+            if !uniform {
+                return None;
+            }
+            // μ/η/alloca children must not be φ-pulled (their identity is
+            // positional); restrict to pure shapes.
+            if !matches!(
+                first,
+                Node::Bin(..) | Node::FBin(..) | Node::Icmp(..) | Node::Fcmp(..) | Node::Cast(..) | Node::Gep(..)
+            ) {
+                return None;
+            }
+            let conds: Vec<NodeId> = branches.iter().map(|(c, _)| *c).collect();
+            let mut new_children = Vec::with_capacity(arity);
+            for j in 0..arity {
+                if child_rows.iter().all(|r| g.same(r[j], child_rows[0][j])) {
+                    new_children.push(g.find(child_rows[0][j]));
+                } else {
+                    let bs: Vec<(NodeId, NodeId)> =
+                        conds.iter().copied().zip(child_rows.iter().map(|r| r[j])).collect();
+                    new_children.push(g.add(Node::Phi { branches: bs.into_boxed_slice() }));
+                }
+            }
+            let mut pulled = first.clone();
+            let mut j = 0;
+            pulled.map_children(|_| {
+                let c = new_children[j];
+                j += 1;
+                c
+            });
+            Some(g.add(pulled))
+        }
+        _ => None,
+    }
+}
+
+/// Graph-level loop unswitching: `η(ca, v)` over a loop whose body branches
+/// on a loop-invariant, non-constant condition `c` splits into
+/// `φ{c → η(ca, v)[c:=true], ¬c → η(ca, v)[c:=false]}`, mirroring what the
+/// loop-unswitch pass did to the optimized side.
+fn try_unswitch(
+    g: &mut SharedGraph,
+    depth: u32,
+    cond: NodeId,
+    val: NodeId,
+    evidence: &std::collections::HashSet<NodeId>,
+) -> Option<NodeId> {
+    let c = find_invariant_gate(g, val, depth, evidence)?;
+    let t = bool_const(g, true);
+    let f = bool_const(g, false);
+    let spec_t = specialize(g, &[cond, val], c, t, depth)?;
+    let spec_f = specialize(g, &[cond, val], c, f, depth)?;
+    let eta_t = g.add(Node::Eta { depth, cond: spec_t[0], val: spec_t[1] });
+    let eta_f = g.add(Node::Eta { depth, cond: spec_f[0], val: spec_f[1] });
+    let notc = mk_not(g, c);
+    Some(g.add(Node::Phi { branches: vec![(c, eta_t), (notc, eta_f)].into_boxed_slice() }))
+}
+
+/// Find a φ branch condition inside the depth-`depth` cycle of `root` that
+/// is invariant at that depth and not a constant.
+fn find_invariant_gate(
+    g: &SharedGraph,
+    root: NodeId,
+    depth: u32,
+    evidence: &std::collections::HashSet<NodeId>,
+) -> Option<NodeId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![g.find(root)];
+    let mut best: Option<NodeId> = None;
+    let mut steps = 0;
+    while let Some(n) = stack.pop() {
+        let n = g.find(n);
+        if !seen.insert(n) {
+            continue;
+        }
+        steps += 1;
+        if steps > 512 {
+            return None;
+        }
+        match g.resolve(n) {
+            Node::Eta { depth: d2, .. } if d2 <= depth => continue,
+            Node::Phi { branches } => {
+                for (c, v) in branches.iter() {
+                    let c = g.find(*c);
+                    // A useful unswitch gate: invariant, non-constant, and
+                    // actually used inside the loop (we only look inside).
+                    if as_const(g, c).is_none() && evidence.contains(&c) && !varies_at_depth(g, c, depth) {
+                        best = Some(best.map_or(c, |b| if c < b { c } else { b }));
+                    }
+                    stack.push(c);
+                    stack.push(*v);
+                }
+            }
+            other => other.for_each_child(|ch| stack.push(ch)),
+        }
+    }
+    best
+}
+
+/// Clone the cone of `roots` with `gate` replaced by `replacement`,
+/// preserving μ cycles (bounded; `None` when the cone is too large).
+fn specialize(g: &mut SharedGraph, roots: &[NodeId], gate: NodeId, replacement: NodeId, depth: u32) -> Option<Vec<NodeId>> {
+    let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut mu_fixups: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut budget = 384u32;
+    fn go(
+        g: &mut SharedGraph,
+        n: NodeId,
+        gate: NodeId,
+        replacement: NodeId,
+        depth: u32,
+        memo: &mut HashMap<NodeId, NodeId>,
+        mu_fixups: &mut Vec<(NodeId, NodeId)>,
+        budget: &mut u32,
+    ) -> Option<NodeId> {
+        let n = g.find(n);
+        if n == g.find(gate) {
+            return Some(replacement);
+        }
+        if let Some(&m) = memo.get(&n) {
+            return Some(m);
+        }
+        // Values invariant at this depth can't contain the gate's use sites
+        // that matter... but they *can* contain the gate itself; only clone
+        // within the loop-varying cone.
+        if !varies_at_depth(g, n, depth) && !reaches(g, n, gate) {
+            return Some(n);
+        }
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        match g.resolve(n) {
+            Node::Mu { depth: d, init, next } => {
+                let new_mu = g.new_mu(d, init, None);
+                memo.insert(n, new_mu);
+                let ni = go(g, init, gate, replacement, depth, memo, mu_fixups, budget)?;
+                let nn = go(g, next, gate, replacement, depth, memo, mu_fixups, budget)?;
+                g.patch_mu(new_mu, nn);
+                g.set_mu_init(new_mu, ni);
+                Some(new_mu)
+            }
+            mut other => {
+                let mut ok = true;
+                let mut cloned: HashMap<NodeId, NodeId> = HashMap::new();
+                other.for_each_child(|c| {
+                    if ok && !cloned.contains_key(&c) {
+                        match go(g, c, gate, replacement, depth, memo, mu_fixups, budget) {
+                            Some(x) => {
+                                cloned.insert(c, x);
+                            }
+                            None => ok = false,
+                        }
+                    }
+                });
+                if !ok {
+                    return None;
+                }
+                other.map_children(|c| cloned[&c]);
+                let new = g.add(other);
+                memo.insert(n, new);
+                Some(new)
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(roots.len());
+    for &r in roots {
+        out.push(go(g, r, gate, replacement, depth, &mut memo, &mut mu_fixups, &mut budget)?);
+    }
+    Some(out)
+}
+
+/// True if `from` reaches `target` (μ-cycle-safe).
+fn reaches(g: &SharedGraph, from: NodeId, target: NodeId) -> bool {
+    let target = g.find(target);
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![g.find(from)];
+    while let Some(n) = stack.pop() {
+        let n = g.find(n);
+        if n == target {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        g.node(n).clone().for_each_child(|c| stack.push(c));
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// libc knowledge (§5.3, opt-in).
+// ---------------------------------------------------------------------------
+
+/// Pointer-argument indices a readonly libc function reads through.
+fn readonly_ptr_args(name: &str) -> Option<&'static [usize]> {
+    match name {
+        "strlen" | "atoi" | "ext_ro" => Some(&[0]),
+        _ => None,
+    }
+}
+
+/// `(destination index, length index)` for known arg-only writers.
+fn write_dest(name: &str) -> Option<(usize, usize)> {
+    match name {
+        "memset" | "memcpy" => Some((0, 2)),
+        _ => None,
+    }
+}
+
+fn try_libc(g: &mut SharedGraph, n: &Node, esc: &Escapes) -> Option<NodeId> {
+    match n {
+        // Readonly calls jump over non-aliasing memory effects (the
+        // `strlen`-hoisted-by-LICM case of §5.3, and the atoi reordering).
+        Node::CallVal { callee, ret, args, mem } => {
+            let name = g.callee_name(*callee).to_owned();
+            let reads = readonly_ptr_args(&name)?;
+            let read_ptrs: Vec<NodeId> = reads.iter().map(|&i| args[i]).collect();
+            match g.resolve(*mem) {
+                Node::Store { ty, ptr, mem: m2, .. } => {
+                    if read_ptrs.iter().all(|&p| no_alias(g, Some(esc), p, u64::MAX, ptr, ty.bytes())) {
+                        return Some(g.add(Node::CallVal { callee: *callee, ret: *ret, args: args.clone(), mem: m2 }));
+                    }
+                    None
+                }
+                Node::CallMem { callee: wc, args: wargs, mem: m2 } => {
+                    let wname = g.callee_name(wc).to_owned();
+                    let (di, li) = write_dest(&wname)?;
+                    let wsize = as_int_bits(g, wargs[li]).unwrap_or(u64::MAX);
+                    if read_ptrs.iter().all(|&p| no_alias(g, Some(esc), p, u64::MAX, wargs[di], wsize)) {
+                        return Some(g.add(Node::CallVal { callee: *callee, ret: *ret, args: args.clone(), mem: m2 }));
+                    }
+                    None
+                }
+                Node::Mu { init, .. } => {
+                    let writers = collect_loop_writers(g, g.find(*mem))?;
+                    if writers.iter().all(|w| {
+                        read_ptrs.iter().all(|&p| no_alias(g, Some(esc), p, u64::MAX, w.ptr, w.size))
+                    }) {
+                        return Some(g.add(Node::CallVal { callee: *callee, ret: *ret, args: args.clone(), mem: init }));
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        // memset forwarding: a load fully inside a constant memset region
+        // yields the splatted byte (paper §5.3's second example rule).
+        Node::Load { ty, ptr, mem } => {
+            if !ty.is_int() {
+                return None;
+            }
+            let Node::CallMem { callee, args, mem: m2 } = g.resolve(*mem) else {
+                return None;
+            };
+            let name = g.callee_name(callee).to_owned();
+            if name != "memset" {
+                return None;
+            }
+            let byte = as_int_bits(g, args[1])? & 0xff;
+            let len = as_int_bits(g, args[2])?;
+            let pi = ptr_info(g, *ptr);
+            let di = ptr_info(g, args[0]);
+            let same = match (pi.base, di.base) {
+                (GBase::Alloca(a), GBase::Alloca(b)) => g.find(a) == g.find(b),
+                (GBase::Global(a), GBase::Global(b)) => a == b,
+                (GBase::Param(a), GBase::Param(b)) => a == b,
+                _ => false,
+            };
+            if !same {
+                // Maybe it's *outside* the memset: then the load jumps it.
+                if no_alias(g, Some(esc), *ptr, ty.bytes(), args[0], len) {
+                    return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: m2 }));
+                }
+                return None;
+            }
+            let (po, do_) = (pi.offset?, di.offset?);
+            if po >= do_ && po.saturating_add(ty.bytes() as i64) <= do_.saturating_add(len as i64) {
+                let mut v: u64 = 0;
+                for i in 0..ty.bytes() {
+                    v |= byte << (8 * i);
+                }
+                return Some(konst(g, Constant::int(*ty, ty.sext(v))));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float folding (opt-in).
+// ---------------------------------------------------------------------------
+
+fn try_float(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
+    match n {
+        Node::FBin(op, a, b) => {
+            let (Some(Constant::Float(x)), Some(Constant::Float(y))) = (as_const(g, *a), as_const(g, *b)) else {
+                return None;
+            };
+            Some(konst(g, Constant::Float(eval_fbinop(*op, x, y))))
+        }
+        Node::Fcmp(pred, a, b) => {
+            let (Some(Constant::Float(x)), Some(Constant::Float(y))) = (as_const(g, *a), as_const(g, *b)) else {
+                return None;
+            };
+            Some(bool_const(g, eval_fcmp(*pred, x, y)))
+        }
+        Node::Cast(op, from, to, v) if matches!(op, CastOp::FpToSi | CastOp::SiToFp) => {
+            let c = as_const(g, *v)?;
+            let bits = match c {
+                Constant::Float(b) => b,
+                _ => c.as_bits()?,
+            };
+            let out = eval_cast(*op, *from, *to, bits);
+            Some(match op {
+                CastOp::SiToFp => konst(g, Constant::Float(out)),
+                _ => konst(g, Constant::int(*to, to.sext(out))),
+            })
+        }
+        _ => None,
+    }
+}

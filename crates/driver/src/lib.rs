@@ -1,0 +1,265 @@
+//! `llvm-md-driver` — the LLVM-MD tool itself (paper §2).
+//!
+//! LLVM-MD is "an optimizer that certifies that the semantics of the program
+//! is preserved": it runs the off-the-shelf optimizer on every function,
+//! validates each transformed function against its original, and **splices
+//! the original back** whenever validation fails — the pseudo-code of §2:
+//!
+//! ```text
+//! function llvm-md(var input) {
+//!     output = opt -options input
+//!     for each function f in input {
+//!         if (!validate f_in f_out) { replace f_out by f_in in output }
+//!     }
+//!     return output
+//! }
+//! ```
+//!
+//! The driver also produces the per-function records behind the paper's
+//! evaluation: which functions the optimizer changed, which of those
+//! validated, per-rule rewrite counts and wall-clock times (Figs. 4–8).
+
+use lir::func::{Function, Module};
+use lir_opt::PassManager;
+use llvm_md_core::{FailReason, RewriteCounts, Validator};
+use std::time::{Duration, Instant};
+
+/// The outcome of optimizing-and-validating one function.
+#[derive(Clone, Debug)]
+pub struct FunctionRecord {
+    /// Function name.
+    pub name: String,
+    /// Instruction count before optimization.
+    pub insts_before: usize,
+    /// Instruction count after optimization.
+    pub insts_after: usize,
+    /// Did the optimizer change the function? (Compared after block/register
+    /// renumbering, so pure renaming doesn't count.)
+    pub transformed: bool,
+    /// Did the validator accept the transformation? Untransformed functions
+    /// are trivially valid and not counted in the paper's per-optimization
+    /// charts.
+    pub validated: bool,
+    /// Failure reason for alarms.
+    pub reason: Option<FailReason>,
+    /// Validation wall-clock time.
+    pub duration: Duration,
+    /// Rewrites the validator needed, per rule group.
+    pub rewrites: RewriteCounts,
+    /// Normalization rounds.
+    pub rounds: usize,
+}
+
+/// Aggregated results over a module (one bar of Fig. 4 / one column group of
+/// Fig. 5).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Per-function outcomes.
+    pub records: Vec<FunctionRecord>,
+    /// Total optimizer time.
+    pub opt_time: Duration,
+    /// Total validation time.
+    pub validate_time: Duration,
+}
+
+impl Report {
+    /// Number of functions the optimizer transformed.
+    pub fn transformed(&self) -> usize {
+        self.records.iter().filter(|r| r.transformed).count()
+    }
+
+    /// Number of transformed functions that validated.
+    pub fn validated(&self) -> usize {
+        self.records.iter().filter(|r| r.transformed && r.validated).count()
+    }
+
+    /// Number of alarms (transformed functions that failed validation).
+    pub fn alarms(&self) -> usize {
+        self.transformed() - self.validated()
+    }
+
+    /// Fraction of transformed functions validated (the paper's headline
+    /// metric). `1.0` when nothing was transformed.
+    pub fn validation_rate(&self) -> f64 {
+        let t = self.transformed();
+        if t == 0 {
+            1.0
+        } else {
+            self.validated() as f64 / t as f64
+        }
+    }
+
+    /// Sum of the validator's rewrite counts.
+    pub fn total_rewrites(&self) -> u64 {
+        self.records.iter().map(|r| r.rewrites.total()).sum()
+    }
+}
+
+/// True when the optimizer actually changed the function, modulo register
+/// and block renumbering.
+pub fn changed(before: &Function, after: &Function) -> bool {
+    before.canonicalized() != after.canonicalized()
+}
+
+/// Run the `llvm-md` pipeline: optimize `input` with `pm`, validate every
+/// function with `validator`, and splice originals back over rejected
+/// transformations. Returns the certified module and the per-function
+/// report.
+pub fn llvm_md(input: &Module, pm: &PassManager, validator: &Validator) -> (Module, Report) {
+    let mut output = input.clone();
+    let mut report = Report::default();
+    let t0 = Instant::now();
+    pm.run_module(&mut output);
+    report.opt_time = t0.elapsed();
+    for (fi, fo) in input.functions.iter().zip(output.functions.iter_mut()) {
+        let transformed = changed(fi, fo);
+        let mut record = FunctionRecord {
+            name: fi.name.clone(),
+            insts_before: fi.inst_count(),
+            insts_after: fo.inst_count(),
+            transformed,
+            validated: true,
+            reason: None,
+            duration: Duration::ZERO,
+            rewrites: RewriteCounts::default(),
+            rounds: 0,
+        };
+        if transformed {
+            let verdict = validator.validate(fi, fo);
+            record.validated = verdict.validated;
+            record.reason = verdict.reason;
+            record.duration = verdict.stats.duration;
+            record.rewrites = verdict.stats.rewrites;
+            record.rounds = verdict.stats.rounds;
+            report.validate_time += verdict.stats.duration;
+            if !verdict.validated {
+                // The paper's splice: keep the unoptimized original.
+                *fo = fi.clone();
+            }
+        }
+        report.records.push(record);
+    }
+    (output, report)
+}
+
+/// Run a single optimization pass (by paper abbreviation) over the module
+/// and validate each function: the per-optimization experiment of Fig. 5.
+///
+/// # Panics
+///
+/// Panics when `pass` is not a known pass name.
+pub fn run_single_pass(input: &Module, pass: &str, validator: &Validator) -> Report {
+    let mut pm = PassManager::new();
+    pm.add(lir_opt::pass_by_name(pass).unwrap_or_else(|| panic!("unknown pass {pass}")));
+    llvm_md(input, &pm, validator).1
+}
+
+/// Validate a pre-optimized pair of modules function-by-function (used when
+/// the caller wants to control optimization separately).
+pub fn validate_modules(input: &Module, output: &Module, validator: &Validator) -> Report {
+    let mut report = Report::default();
+    for (fi, fo) in input.functions.iter().zip(output.functions.iter()) {
+        let transformed = changed(fi, fo);
+        let mut record = FunctionRecord {
+            name: fi.name.clone(),
+            insts_before: fi.inst_count(),
+            insts_after: fo.inst_count(),
+            transformed,
+            validated: true,
+            reason: None,
+            duration: Duration::ZERO,
+            rewrites: RewriteCounts::default(),
+            rounds: 0,
+        };
+        if transformed {
+            let verdict = validator.validate(fi, fo);
+            record.validated = verdict.validated;
+            record.reason = verdict.reason;
+            record.duration = verdict.stats.duration;
+            record.rewrites = verdict.stats.rewrites;
+            record.rounds = verdict.stats.rounds;
+            report.validate_time += verdict.stats.duration;
+        }
+        report.records.push(record);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::interp::{run, ExecConfig};
+    use lir::parse::parse_module;
+    use lir_opt::paper_pipeline;
+
+    fn module(src: &str) -> Module {
+        parse_module(src).expect("parse")
+    }
+
+    #[test]
+    fn pipeline_validates_simple_module() {
+        let m = module(
+            "define i64 @fold(i64 %a) {\n\
+             entry:\n  %x = add i64 3, 3\n  %y = mul i64 %a, %x\n  ret i64 %y\n\
+             }\n\
+             define i64 @dead(i64 %a) {\n\
+             entry:\n  %d = add i64 %a, 9\n  %u = mul i64 %d, %d\n  ret i64 %a\n\
+             }\n",
+        );
+        let (out, report) = llvm_md(&m, &paper_pipeline(), &Validator::new());
+        assert_eq!(report.records.len(), 2);
+        // The dead-code function must have been transformed and validated.
+        let dead = report.records.iter().find(|r| r.name == "dead").unwrap();
+        assert!(dead.transformed);
+        assert!(dead.validated, "{:?}", dead.reason);
+        // Behaviour is preserved on the certified output.
+        for args in [[0u64], [7], [123456]] {
+            let a = run(&m, "dead", &args, &ExecConfig::default()).unwrap();
+            let b = run(&out, "dead", &args, &ExecConfig::default()).unwrap();
+            assert_eq!(a.ret, b.ret);
+        }
+    }
+
+    #[test]
+    fn rejected_functions_are_spliced_back() {
+        // A validator with no rules rejects almost any real transformation;
+        // the output must then equal the input function.
+        let m = module(
+            "define i64 @f(i64 %a) {\n\
+             entry:\n  %x = add i64 2, 3\n  %y = mul i64 %a, %x\n  ret i64 %y\n\
+             }\n",
+        );
+        let strict = Validator { rules: llvm_md_core::RuleSet::none(), ..Validator::new() };
+        let (out, report) = llvm_md(&m, &paper_pipeline(), &strict);
+        let rec = &report.records[0];
+        if rec.transformed && !rec.validated {
+            assert!(!changed(&m.functions[0], &out.functions[0]), "original spliced back");
+        }
+    }
+
+    #[test]
+    fn untransformed_functions_are_not_counted() {
+        let m = module("define i64 @id(i64 %a) {\nentry:\n  ret i64 %a\n}\n");
+        let (_, report) = llvm_md(&m, &paper_pipeline(), &Validator::new());
+        assert_eq!(report.transformed(), 0);
+        assert_eq!(report.validation_rate(), 1.0);
+    }
+
+    #[test]
+    fn single_pass_report() {
+        let m = module(
+            "define i64 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %t, label %e\n\
+             t:\n  br label %j\n\
+             e:\n  br label %j\n\
+             j:\n  %a = phi i64 [ 1, %t ], [ 2, %e ]\n\
+             %b = phi i64 [ 1, %t ], [ 2, %e ]\n\
+             %s = sub i64 %a, %b\n  ret i64 %s\n\
+             }\n",
+        );
+        let report = run_single_pass(&m, "gvn", &Validator::new());
+        let rec = &report.records[0];
+        assert!(rec.transformed, "GVN merges the equivalent phis");
+        assert!(rec.validated, "{:?}", rec.reason);
+    }
+}

@@ -1,0 +1,119 @@
+//! Known external functions (a libc subset).
+//!
+//! LLVM's optimizer exploits semantic knowledge of libc functions — e.g. LICM
+//! hoists `strlen` out of loops that do not write memory. The paper identifies
+//! exactly this knowledge as a major source of validator false alarms (§5.3)
+//! and discusses adding "insider knowledge of libc functions" as normalization
+//! rules (§7). This module is the shared table: the optimizer always uses it;
+//! the validator only uses it when the `libc knowledge` rule set is enabled,
+//! which reproduces the paper's ablation.
+
+/// Memory effects of a call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemEffects {
+    /// Reads and writes nothing (pure function of its arguments).
+    None,
+    /// May read memory, writes nothing.
+    ReadOnly,
+    /// May read and write memory.
+    ReadWrite,
+}
+
+impl MemEffects {
+    /// True if a call with these effects may read memory.
+    pub fn may_read(self) -> bool {
+        matches!(self, MemEffects::ReadOnly | MemEffects::ReadWrite)
+    }
+
+    /// True if a call with these effects may write memory.
+    pub fn may_write(self) -> bool {
+        matches!(self, MemEffects::ReadWrite)
+    }
+}
+
+/// Static description of a known external function.
+#[derive(Clone, Copy, Debug)]
+pub struct KnownFn {
+    /// Symbol name.
+    pub name: &'static str,
+    /// Memory effects.
+    pub effects: MemEffects,
+    /// Whether a call can trap (e.g. dereferences a possibly-bad pointer).
+    pub may_trap: bool,
+    /// If `ReadOnly`: the call only reads memory reachable from its pointer
+    /// arguments (so stores that don't alias any argument can move past it).
+    pub args_only: bool,
+}
+
+/// The table of known external functions.
+///
+/// * `strlen(p)` — readonly, argmemonly; LICM hoists it from loops without
+///   aliasing stores (the paper's running LICM example).
+/// * `atoi(p)` — readonly, argmemonly; the paper's commuting-rule example.
+/// * `memset(p, x, l)` — writes argument memory only.
+/// * `memcpy(d, s, l)` — reads `s`, writes `d`.
+/// * `abs(x)` — pure.
+/// * `ext_pure` / `ext_ro` / `ext_rw` — stand-ins for unknown externals with
+///   declared effect levels, used by the synthetic workload.
+/// * `sink(x)` — observable output (read-write, like a volatile write or IO).
+pub const KNOWN_FNS: &[KnownFn] = &[
+    KnownFn { name: "strlen", effects: MemEffects::ReadOnly, may_trap: true, args_only: true },
+    KnownFn { name: "atoi", effects: MemEffects::ReadOnly, may_trap: true, args_only: true },
+    KnownFn { name: "memset", effects: MemEffects::ReadWrite, may_trap: true, args_only: true },
+    KnownFn { name: "memcpy", effects: MemEffects::ReadWrite, may_trap: true, args_only: true },
+    KnownFn { name: "abs", effects: MemEffects::None, may_trap: false, args_only: false },
+    KnownFn { name: "ext_pure", effects: MemEffects::None, may_trap: false, args_only: false },
+    KnownFn { name: "ext_ro", effects: MemEffects::ReadOnly, may_trap: true, args_only: true },
+    KnownFn { name: "ext_rw", effects: MemEffects::ReadWrite, may_trap: true, args_only: false },
+    KnownFn { name: "sink", effects: MemEffects::ReadWrite, may_trap: false, args_only: false },
+];
+
+/// Look up a known function by name.
+pub fn lookup(name: &str) -> Option<&'static KnownFn> {
+    KNOWN_FNS.iter().find(|k| k.name == name)
+}
+
+/// Memory effects of calling `name`. Unknown functions are assumed to read
+/// and write everything.
+pub fn effects_of(name: &str) -> MemEffects {
+    lookup(name).map_or(MemEffects::ReadWrite, |k| k.effects)
+}
+
+/// Whether calling `name` may trap. Unknown functions may.
+pub fn may_trap(name: &str) -> bool {
+    lookup(name).map_or(true, |k| k.may_trap)
+}
+
+/// True if `name` is a readonly function whose reads are confined to memory
+/// reachable from its pointer arguments. These are the calls LICM can hoist
+/// out of loops whose stores don't alias the arguments.
+pub fn is_readonly_argmem(name: &str) -> bool {
+    lookup(name).is_some_and(|k| k.effects == MemEffects::ReadOnly && k.args_only)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strlen_is_readonly_argmem() {
+        assert_eq!(effects_of("strlen"), MemEffects::ReadOnly);
+        assert!(is_readonly_argmem("strlen"));
+        assert!(may_trap("strlen"));
+    }
+
+    #[test]
+    fn unknown_functions_are_worst_case() {
+        assert_eq!(effects_of("mystery"), MemEffects::ReadWrite);
+        assert!(may_trap("mystery"));
+        assert!(!is_readonly_argmem("mystery"));
+    }
+
+    #[test]
+    fn pure_functions() {
+        assert_eq!(effects_of("abs"), MemEffects::None);
+        assert!(!may_trap("abs"));
+        assert!(!effects_of("abs").may_read());
+        assert!(effects_of("memset").may_write());
+    }
+}

@@ -1,0 +1,54 @@
+//! `lir` — a small LLVM-like SSA intermediate representation.
+//!
+//! This crate is the substrate for the LLVM-MD translation-validation
+//! reproduction. It provides the subset of LLVM that the PLDI 2011 paper
+//! "Evaluating Value-Graph Translation Validation for LLVM" exercises:
+//!
+//! * an SSA-form IR with an infinite register file ([`Reg`]), typed
+//!   instructions ([`Inst`]), φ-nodes ([`Phi`]) and block terminators
+//!   ([`Term`]);
+//! * a textual assembly syntax with a [parser](parse) and printer
+//!   (`Display` impls in [`print`]);
+//! * control-flow analyses: [CFG](cfg), [dominators](dom) and
+//!   [natural loops](loops) including a reducibility test;
+//! * an SSA/type [verifier](verify);
+//! * a reference [interpreter](interp) with a flat memory model, used for
+//!   differential testing of the optimizer and the validator;
+//! * a table of [known external functions](known) (libc subset) shared by
+//!   the optimizer and the validator.
+//!
+//! # Example
+//!
+//! ```
+//! use lir::parse::parse_module;
+//!
+//! let m = parse_module(
+//!     "define i64 @double(i64 %x) {\n\
+//!      entry:\n\
+//!        %y = add i64 %x, %x\n\
+//!        ret i64 %y\n\
+//!      }\n",
+//! )?;
+//! assert_eq!(m.functions.len(), 1);
+//! # Ok::<(), lir::parse::ParseError>(())
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod func;
+pub mod inst;
+pub mod interp;
+pub mod known;
+pub mod loops;
+pub mod parse;
+pub mod print;
+pub mod transform;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use func::{Block, BlockId, FuncDecl, Function, Global, GlobalId, Module, Phi};
+pub use inst::{BinOp, CastOp, FBinOp, FcmpPred, IcmpPred, Inst, Term};
+pub use types::Ty;
+pub use value::{Constant, Operand, Reg};

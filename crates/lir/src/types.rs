@@ -1,0 +1,207 @@
+//! First-class types of the IR.
+//!
+//! The type system is deliberately small: the integer widths LLVM's C
+//! frontend produces for scalar code, one float type, an opaque pointer type
+//! (LLVM 15-style — all pointers are untyped and `gep` works in bytes), and
+//! `void` for functions without a return value.
+
+use std::fmt;
+
+/// A first-class IR type.
+///
+/// # Example
+///
+/// ```
+/// use lir::Ty;
+/// assert_eq!(Ty::I32.bits(), 32);
+/// assert!(Ty::Ptr.is_ptr());
+/// assert_eq!("i64".parse::<Ty>()?, Ty::I64);
+/// # Ok::<(), lir::types::TyParseError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Ty {
+    /// No value. Only valid as a function return type.
+    Void,
+    /// 1-bit integer (booleans, branch conditions).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Opaque pointer (64-bit addresses).
+    Ptr,
+}
+
+impl Ty {
+    /// All types that can appear as an instruction result.
+    pub const FIRST_CLASS: [Ty; 7] = [Ty::I1, Ty::I8, Ty::I16, Ty::I32, Ty::I64, Ty::F64, Ty::Ptr];
+
+    /// Integer types, narrowest first.
+    pub const INTS: [Ty; 5] = [Ty::I1, Ty::I8, Ty::I16, Ty::I32, Ty::I64];
+
+    /// Bit width of the type. Pointers are 64-bit; `void` has width 0.
+    pub fn bits(self) -> u32 {
+        match self {
+            Ty::Void => 0,
+            Ty::I1 => 1,
+            Ty::I8 => 8,
+            Ty::I16 => 16,
+            Ty::I32 => 32,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 64,
+        }
+    }
+
+    /// Size in bytes when stored in memory. `i1` occupies one byte.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Ty::Void => 0,
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 8,
+        }
+    }
+
+    /// True for the integer types (`i1` … `i64`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I1 | Ty::I8 | Ty::I16 | Ty::I32 | Ty::I64)
+    }
+
+    /// True for `f64`.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F64)
+    }
+
+    /// True for `ptr`.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Ty::Ptr)
+    }
+
+    /// Mask selecting the valid bits of an integer of this type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn mask(self) -> u64 {
+        assert!(self.is_int(), "mask of non-integer type {self}");
+        match self.bits() {
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// Truncate `v` to this integer type's width (zero-extended representation).
+    pub fn wrap(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Sign-extend the `bits()`-wide value `v` to 64 bits and reinterpret as `i64`.
+    pub fn sext(self, v: u64) -> i64 {
+        let b = self.bits();
+        if b == 64 {
+            v as i64
+        } else {
+            let shift = 64 - b;
+            ((v << shift) as i64) >> shift
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Void => "void",
+            Ty::I1 => "i1",
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`Ty`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TyParseError(pub String);
+
+impl fmt::Display for TyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for TyParseError {}
+
+impl std::str::FromStr for Ty {
+    type Err = TyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "void" => Ty::Void,
+            "i1" => Ty::I1,
+            "i8" => Ty::I8,
+            "i16" => Ty::I16,
+            "i32" => Ty::I32,
+            "i64" => Ty::I64,
+            "f64" => Ty::F64,
+            "ptr" => Ty::Ptr,
+            _ => return Err(TyParseError(s.to_owned())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_sizes() {
+        assert_eq!(Ty::I1.bits(), 1);
+        assert_eq!(Ty::I1.bytes(), 1);
+        assert_eq!(Ty::I16.bytes(), 2);
+        assert_eq!(Ty::Ptr.bits(), 64);
+        assert_eq!(Ty::F64.bytes(), 8);
+        assert_eq!(Ty::Void.bits(), 0);
+    }
+
+    #[test]
+    fn wrap_masks_to_width() {
+        assert_eq!(Ty::I8.wrap(0x1ff), 0xff);
+        assert_eq!(Ty::I1.wrap(2), 0);
+        assert_eq!(Ty::I64.wrap(u64::MAX), u64::MAX);
+        assert_eq!(Ty::I32.wrap(0x1_0000_0001), 1);
+    }
+
+    #[test]
+    fn sext_reinterprets_sign() {
+        assert_eq!(Ty::I8.sext(0xff), -1);
+        assert_eq!(Ty::I8.sext(0x7f), 127);
+        assert_eq!(Ty::I1.sext(1), -1);
+        assert_eq!(Ty::I64.sext(u64::MAX), -1);
+        assert_eq!(Ty::I32.sext(0x8000_0000), i32::MIN as i64);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for ty in Ty::FIRST_CLASS {
+            assert_eq!(ty.to_string().parse::<Ty>().unwrap(), ty);
+        }
+        assert_eq!("void".parse::<Ty>().unwrap(), Ty::Void);
+        assert!("i128".parse::<Ty>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "mask of non-integer")]
+    fn mask_panics_on_float() {
+        let _ = Ty::F64.mask();
+    }
+}

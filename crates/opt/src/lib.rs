@@ -1,0 +1,178 @@
+//! `lir-opt` — the "black box" optimizer the validator validates.
+//!
+//! From-scratch reimplementations of the LLVM passes exercised by the PLDI
+//! 2011 paper "Evaluating Value-Graph Translation Validation for LLVM":
+//!
+//! | paper pass | module |
+//! |---|---|
+//! | mem2reg (input preprocessing) | [`mem2reg`] |
+//! | ADCE — aggressive dead-code elimination | [`adce`] |
+//! | GVN — global value numbering with alias analysis | [`gvn`] |
+//! | SCCP — sparse conditional constant propagation | [`sccp`] |
+//! | LICM — loop-invariant code motion | [`licm`] |
+//! | LD — loop deletion | [`loopdel`] |
+//! | LU — loop unswitching | [`unswitch`] |
+//! | DSE — dead-store elimination | [`dse`] |
+//! | instcombine (paper §4, "optimization-specific rules") | [`instcombine`] |
+//!
+//! Passes are function-local ([`Pass`]) and are orchestrated by
+//! [`PassManager`]; [`paper_pipeline`] builds the exact pipeline of §5.1.
+//! The optimizer consults the same [known-function table](lir::known) LLVM
+//! uses libc knowledge for, which is what produces the paper's
+//! characteristic LICM false alarms when the validator's libc rules are off.
+
+pub mod adce;
+pub mod alias;
+pub mod dse;
+pub mod gvn;
+pub mod instcombine;
+pub mod licm;
+pub mod loopdel;
+pub mod mem2reg;
+pub mod sccp;
+pub mod simplifycfg;
+pub mod ssa_update;
+pub mod unswitch;
+pub mod util;
+
+use lir::func::{Function, Global, Module};
+
+/// Read-only module context available to function passes.
+#[derive(Clone, Copy, Debug)]
+pub struct Ctx<'a> {
+    /// Module globals (for constant-global folding and aliasing).
+    pub globals: &'a [Global],
+}
+
+impl<'a> Ctx<'a> {
+    /// Context over a module.
+    pub fn of(m: &'a Module) -> Ctx<'a> {
+        Ctx { globals: &m.globals }
+    }
+
+    /// An empty context (no globals), for tests.
+    pub fn empty() -> Ctx<'static> {
+        Ctx { globals: &[] }
+    }
+}
+
+/// A function-level optimization pass.
+pub trait Pass {
+    /// Short name used in reports (matches the paper's abbreviations).
+    fn name(&self) -> &'static str;
+
+    /// Run on one function; return `true` if the function changed.
+    fn run(&self, f: &mut Function, ctx: &Ctx<'_>) -> bool;
+}
+
+/// An ordered list of passes run function-by-function.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// An empty pass manager.
+    pub fn new() -> PassManager {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, p: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(p);
+        self
+    }
+
+    /// The registered pass names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run all passes on one function. Returns `true` if anything changed.
+    pub fn run_function(&self, f: &mut Function, ctx: &Ctx<'_>) -> bool {
+        let mut changed = false;
+        for p in &self.passes {
+            changed |= p.run(f, ctx);
+            debug_assert!(
+                lir::verify::verify_function(f).is_ok(),
+                "pass {} broke function @{}:\n{}\n{:?}",
+                p.name(),
+                f.name,
+                f,
+                lir::verify::verify_function(f).err()
+            );
+        }
+        changed
+    }
+
+    /// Run all passes over every function of a module.
+    pub fn run_module(&self, m: &mut Module) -> bool {
+        let globals = m.globals.clone();
+        let ctx = Ctx { globals: &globals };
+        let mut changed = false;
+        for f in &mut m.functions {
+            changed |= self.run_function(f, &ctx);
+        }
+        changed
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+/// Construct one pass by its paper abbreviation.
+///
+/// Recognized names: `adce`, `gvn`, `sccp`, `licm`, `ld` (loop deletion),
+/// `lu` (loop unswitching), `dse`, `instcombine`, `mem2reg`, `simplifycfg`.
+pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
+    Some(match name {
+        "adce" => Box::new(adce::Adce),
+        "gvn" => Box::new(gvn::Gvn),
+        "sccp" => Box::new(sccp::Sccp),
+        "licm" => Box::new(licm::Licm),
+        "ld" => Box::new(loopdel::LoopDeletion),
+        "lu" => Box::new(unswitch::LoopUnswitch),
+        "dse" => Box::new(dse::Dse),
+        "instcombine" => Box::new(instcombine::InstCombine),
+        "mem2reg" => Box::new(mem2reg::Mem2Reg),
+        "simplifycfg" => Box::new(simplifycfg::SimplifyCfg),
+        _ => return None,
+    })
+}
+
+/// The paper's experimental pipeline (§5.1): ADCE, GVN, SCCP, LICM, loop
+/// deletion, loop unswitching, DSE.
+pub fn paper_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    for name in ["adce", "gvn", "sccp", "licm", "ld", "lu", "dse"] {
+        pm.add(pass_by_name(name).expect("known pass"));
+    }
+    pm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_has_paper_order() {
+        let pm = paper_pipeline();
+        assert_eq!(pm.names(), vec!["adce", "gvn", "sccp", "licm", "ld", "lu", "dse"]);
+    }
+
+    #[test]
+    fn pass_by_name_rejects_unknown() {
+        assert!(pass_by_name("magic").is_none());
+        assert!(pass_by_name("gvn").is_some());
+    }
+}

@@ -1,0 +1,264 @@
+//! Hand-written corpus: the paper's running examples plus targeted
+//! stress-tests for each subsystem, as parseable `lir` assembly.
+//!
+//! These are the programs the paper walks through in §3–§4, translated to
+//! our syntax. They anchor the integration tests (each example must
+//! validate under the pipeline) and the quickstart documentation.
+
+/// Named example programs (name, module source).
+pub fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        // §3.1: the basic-block example. x3 == (a*6) << 1.
+        (
+            "sec31_basic_block",
+            "define i64 @f(i64 %a) {\n\
+             entry:\n  %x1 = add i64 3, 3\n  %x2 = mul i64 %a, %x1\n  %x3 = add i64 %x2, %x2\n  ret i64 %x3\n\
+             }\n",
+        ),
+        // §3.1 side effects: two allocas, stores, load of the first.
+        (
+            "sec31_side_effects",
+            "define i64 @f(i64 %x, i64 %y) {\n\
+             entry:\n  %p1 = alloca 8, align 8\n  %p2 = alloca 8, align 8\n\
+             store i64 %x, ptr %p1\n  store i64 %y, ptr %p2\n\
+             %z = load i64, ptr %p1\n  ret i64 %z\n\
+             }\n",
+        ),
+        // §3.2: extended basic block with a gated φ.
+        (
+            "sec32_gated_phi",
+            "define i64 @f(i64 %a, i64 %b, i64 %x0) {\n\
+             entry:\n  %c = icmp slt i64 %a, %b\n  br i1 %c, label %t, label %e\n\
+             t:\n  %x1 = add i64 %x0, %x0\n  br label %j\n\
+             e:\n  %x2 = mul i64 %x0, %x0\n  br label %j\n\
+             j:\n  %x3 = phi i64 [ %x1, %t ], [ %x2, %e ]\n  ret i64 %x3\n\
+             }\n",
+        ),
+        // Fig. 2: the while loop (μ/η shape).
+        (
+            "fig2_while_loop",
+            "define i64 @f(i64 %c, i64 %n) {\n\
+             entry:\n  br label %loop\n\
+             loop:\n  %xp = phi i64 [ %c, %entry ], [ %xk, %loop1 ]\n\
+             %b = icmp slt i64 %xp, %n\n  br i1 %b, label %loop1, label %exit\n\
+             loop1:\n  %xk = add i64 %xp, 1\n  br label %loop\n\
+             exit:\n  ret i64 %xp\n\
+             }\n",
+        ),
+        // §4: the GVN+SCCP example reducing to `return 1`.
+        (
+            "sec4_gvn_sccp",
+            "define i64 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %t, label %e\n\
+             t:\n  br label %j\n\
+             e:\n  br label %j\n\
+             j:\n  %a = phi i64 [ 1, %t ], [ 2, %e ]\n\
+             %b = phi i64 [ 1, %t ], [ 2, %e ]\n\
+             %d = phi i64 [ 1, %t ], [ 1, %e ]\n\
+             %cc = icmp eq i64 %a, %b\n\
+             br i1 %cc, label %t2, label %e2\n\
+             t2:\n  br label %j2\n\
+             e2:\n  br label %j2\n\
+             j2:\n  %x = phi i64 [ %d, %t2 ], [ 0, %e2 ]\n  ret i64 %x\n\
+             }\n",
+        ),
+        // §4: loop-invariant code motion + loop deletion.
+        (
+            "sec4_licm_loop",
+            "define i64 @f(i64 %a, i64 %n) {\n\
+             entry:\n  br label %head\n\
+             head:\n  %i = phi i64 [ 0, %entry ], [ %i2, %body ]\n\
+             %c = icmp slt i64 %i, %n\n  br i1 %c, label %body, label %done\n\
+             body:\n  %x = add i64 %a, 3\n  %s = call void @sink(i64 %x)\n  %i2 = add i64 %i, 1\n  br label %head\n\
+             done:\n  ret i64 %i\n\
+             }\n",
+        ),
+        // §4.1: the SCCP/GVN ordering example; collapses to `return 1`.
+        (
+            "sec41_order",
+            "define i64 @f(i64 %x, i64 %y) {\n\
+             entry:\n  %a = icmp slt i64 %x, %y\n  %b = icmp slt i64 %x, %y\n\
+             br i1 %a, label %t, label %e\n\
+             t:\n  %eq = icmp eq i1 %a, %b\n  br i1 %eq, label %t2, label %e2\n\
+             t2:\n  br label %j2\n\
+             e2:\n  br label %j2\n\
+             j2:\n  %c1 = phi i64 [ 1, %t2 ], [ 2, %e2 ]\n  br label %j\n\
+             e:\n  br label %j\n\
+             j:\n  %c = phi i64 [ %c1, %j2 ], [ 1, %e ]\n  ret i64 %c\n\
+             }\n",
+        ),
+        // §4.2: the extended example — returns m + m == m << 1.
+        (
+            "sec42_extended",
+            "define i64 @f(i64 %n, i64 %m) {\n\
+             entry:\n  %t1 = alloca 8, align 8\n  %t2 = alloca 8, align 8\n\
+             store i64 1, ptr %t1\n  store i64 %m, ptr %t2\n\
+             br label %head\n\
+             head:\n  %i = phi i64 [ 0, %entry ], [ %i2, %latch ]\n\
+             %t = phi ptr [ %t1, %entry ], [ %t3, %latch ]\n\
+             %c = icmp slt i64 %i, %n\n  br i1 %c, label %body, label %done\n\
+             body:\n  %r = srem i64 %i, 3\n  %cz = icmp ne i64 %r, 0\n  br i1 %cz, label %odd, label %even\n\
+             odd:\n  br label %check\n\
+             even:\n  br label %check\n\
+             check:\n  %x = phi i64 [ 1, %odd ], [ 2, %even ]\n\
+             %y = phi i64 [ 1, %odd ], [ 2, %even ]\n\
+             %xy = icmp eq i64 %x, %y\n  br i1 %xy, label %left, label %right\n\
+             left:\n  br label %latch\n\
+             right:\n  br label %latch\n\
+             latch:\n  %t3 = phi ptr [ %t1, %left ], [ %t2, %right ]\n\
+             %i2 = add i64 %i, 1\n  br label %head\n\
+             done:\n  store i64 42, ptr %t\n\
+             %v = load i64, ptr %t2\n  %s = add i64 %v, %v\n  ret i64 %s\n\
+             }\n",
+        ),
+        // §5.3: strlen hoisted out of a loop by LICM (libc knowledge).
+        (
+            "sec53_strlen_loop",
+            "@data = global [1 x i64] [0]\n@str = global [4 x i64] [0, 0, 0, 0]\n\
+             define i64 @f(i64 %n) {\n\
+             entry:\n  br label %head\n\
+             head:\n  %i = phi i64 [ 0, %entry ], [ %i2, %body ]\n\
+             %len = call i64 @strlen(ptr @str)\n\
+             %c = icmp slt i64 %i, %len\n  br i1 %c, label %body, label %done\n\
+             body:\n  store i64 %i, ptr @data\n  %i2 = add i64 %i, 1\n  br label %head\n\
+             done:\n  ret i64 %i\n\
+             }\n",
+        ),
+        // §5.3: memset followed by an in-range load.
+        (
+            "sec53_memset",
+            "define i64 @f() {\n\
+             entry:\n  %p = alloca 32, align 8\n\
+             call void @memset(ptr %p, i64 7, i64 32)\n\
+             %q = gep ptr %p, i64 16\n  %v = load i64, ptr %q\n\
+             call void @sink(i64 %v)\n  ret i64 %v\n\
+             }\n",
+        ),
+        // Nested loops with an accumulator.
+        (
+            "nested_loops",
+            "define i64 @f(i64 %n) {\n\
+             entry:\n  br label %oh\n\
+             oh:\n  %i = phi i64 [ 0, %entry ], [ %i2, %ol ]\n\
+             %acc = phi i64 [ 0, %entry ], [ %acc2, %ol ]\n\
+             %oc = icmp slt i64 %i, %n\n  br i1 %oc, label %ih, label %done\n\
+             ih:\n  %j = phi i64 [ 0, %oh ], [ %j2, %ib ]\n\
+             %a2 = phi i64 [ %acc, %oh ], [ %a3, %ib ]\n\
+             %ic = icmp slt i64 %j, %i\n  br i1 %ic, label %ib, label %ol\n\
+             ib:\n  %a3 = add i64 %a2, %j\n  %j2 = add i64 %j, 1\n  br label %ih\n\
+             ol:\n  %i2 = add i64 %i, 1\n  %acc2 = add i64 %a2, 1\n  br label %oh\n\
+             done:\n  ret i64 %acc\n\
+             }\n",
+        ),
+        // A loop with two exits (break): multi-exit η.
+        (
+            "loop_with_break",
+            "define i64 @f(i64 %n, i64 %k) {\n\
+             entry:\n  br label %head\n\
+             head:\n  %i = phi i64 [ 0, %entry ], [ %i2, %cont ]\n\
+             %c = icmp slt i64 %i, %n\n  br i1 %c, label %body, label %out\n\
+             body:\n  %b = icmp eq i64 %i, %k\n  br i1 %b, label %brk, label %cont\n\
+             cont:\n  %i2 = add i64 %i, 1\n  br label %head\n\
+             brk:\n  br label %join\n\
+             out:\n  br label %join\n\
+             join:\n  %r = phi i64 [ 0, %brk ], [ 1, %out ]\n  ret i64 %r\n\
+             }\n",
+        ),
+        // Loop unswitching fodder: an invariant branch inside the loop.
+        (
+            "unswitch_loop",
+            "define i64 @f(i64 %n, i64 %p) {\n\
+             entry:\n  %inv = icmp sgt i64 %p, 0\n  br label %head\n\
+             head:\n  %i = phi i64 [ 0, %entry ], [ %i2, %latch ]\n\
+             %acc = phi i64 [ 0, %entry ], [ %acc2, %latch ]\n\
+             %c = icmp slt i64 %i, %n\n  br i1 %c, label %body, label %done\n\
+             body:\n  br i1 %inv, label %a, label %b\n\
+             a:\n  %va = add i64 %acc, 2\n  br label %latch\n\
+             b:\n  %vb = add i64 %acc, 5\n  br label %latch\n\
+             latch:\n  %acc2 = phi i64 [ %va, %a ], [ %vb, %b ]\n\
+             %i2 = add i64 %i, 1\n  br label %head\n\
+             done:\n  ret i64 %acc\n\
+             }\n",
+        ),
+        // Dead stores to a stack slot (DSE fodder).
+        (
+            "dse_stack",
+            "define i64 @f(i64 %x) {\n\
+             entry:\n  %p = alloca 8, align 8\n\
+             store i64 1, ptr %p\n  store i64 2, ptr %p\n  store i64 %x, ptr %p\n\
+             %v = load i64, ptr %p\n  ret i64 %v\n\
+             }\n",
+        ),
+        // Switch dispatch (gcc/perlbench style).
+        (
+            "switch_dispatch",
+            "define i64 @f(i64 %v) {\n\
+             entry:\n  %s = and i64 %v, 3\n  switch i64 %s, label %d [ 0, label %c0 1, label %c1 2, label %c2 ]\n\
+             c0:\n  br label %j\n\
+             c1:\n  br label %j\n\
+             c2:\n  br label %j\n\
+             d:\n  br label %j\n\
+             j:\n  %x = phi i64 [ 10, %c0 ], [ 20, %c1 ], [ 30, %c2 ], [ 0, %d ]\n  ret i64 %x\n\
+             }\n",
+        ),
+        // Irreducible control flow: the front end must reject this (§5.1).
+        (
+            "irreducible",
+            "define i64 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %a, label %b\n\
+             a:\n  br label %b\n\
+             b:\n  br label %a\n\
+             }\n",
+        ),
+    ]
+}
+
+/// The corpus as one parsed module per entry.
+///
+/// # Panics
+///
+/// Panics if an entry fails to parse (a bug in this crate).
+pub fn corpus_modules() -> Vec<(&'static str, lir::func::Module)> {
+    corpus()
+        .into_iter()
+        .map(|(name, src)| {
+            let m = lir::parse::parse_module(src).unwrap_or_else(|e| panic!("corpus entry {name}: {e:?}"));
+            (name, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_entries_parse_and_verify() {
+        for (name, m) in corpus_modules() {
+            if name == "irreducible" {
+                continue; // verifies, but rejected later by gating
+            }
+            lir::verify::verify_module(&m).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn extended_example_returns_m_plus_m() {
+        use lir::interp::{run, ExecConfig};
+        let m = corpus_modules().into_iter().find(|(n, _)| *n == "sec42_extended").unwrap().1;
+        for (n, mm) in [(0u64, 5u64), (3, 10), (7, 21)] {
+            let out = run(&m, "f", &[n, mm], &ExecConfig::default()).expect("runs");
+            assert_eq!(out.ret, Some(mm.wrapping_add(mm)), "f({n}, {mm})");
+        }
+    }
+
+    #[test]
+    fn strlen_loop_runs() {
+        use lir::interp::{run, ExecConfig};
+        let mut m = corpus_modules().into_iter().find(|(n, _)| *n == "sec53_strlen_loop").unwrap().1;
+        // Give @str (the second global; @data is first) a real string: "hi\0".
+        m.globals[1].words[0] = i64::from_le_bytes(*b"hi\0\0\0\0\0\0");
+        let out = run(&m, "f", &[99], &ExecConfig::default()).expect("runs");
+        assert_eq!(out.ret, Some(2), "strlen(\"hi\") bounds the loop");
+    }
+}

@@ -1,0 +1,578 @@
+//! Seeded structured generation of `lir` modules.
+//!
+//! Functions are built recursively from *regions* — straight-line segments,
+//! if/else diamonds, bounded counting loops (possibly with early exits) and
+//! switch dispatch — so every generated CFG is reducible by construction,
+//! loops terminate (constant trip counts), and the only runtime traps
+//! possible are the deliberate ones (none: divisions use non-zero constant
+//! divisors, memory accesses stay inside allocations). That makes the
+//! output suitable both for the validation experiments and for differential
+//! interpretation of optimizer output.
+//!
+//! The generator deliberately produces the idioms the paper's evaluation
+//! exercises: redundant subexpressions (GVN), constant branches and
+//! foldable arithmetic (SCCP), loop-invariant expressions and `strlen`
+//! calls in loops (LICM and its libc false alarms, §5.3), dead stores to
+//! stack memory (DSE), loops with invariant conditions inside (unswitch)
+//! and empty or result-free loops (loop deletion, ADCE).
+
+use crate::profiles::Profile;
+use lir::builder::FunctionBuilder;
+use lir::func::{BlockId, Function, Global, Module};
+use lir::inst::{BinOp, CastOp, FBinOp, FcmpPred, IcmpPred};
+use lir::types::Ty;
+use lir::value::Operand;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate the module for one benchmark profile.
+pub fn generate(profile: &Profile) -> Module {
+    let mut m = Module::new(profile.name.to_lowercase());
+    // A data global (64 bytes, mutable), a string global ("abc\0"-style,
+    // non-zero words terminated within the buffer), and a constant table.
+    m.add_global(Global { name: "data".into(), words: vec![0; 8], is_const: false });
+    m.add_global(Global {
+        name: "str".into(),
+        // Little-endian "abcdefg\0" then zeroes: strlen == 7.
+        words: vec![i64::from_le_bytes(*b"abcdefg\0"), 0, 0, 0],
+        is_const: false,
+    });
+    m.add_global(Global { name: "table".into(), words: vec![3, 1, 4, 1, 5, 9, 2, 6], is_const: true });
+    let mut rng = StdRng::seed_from_u64(profile.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    for i in 0..profile.functions {
+        let f = gen_function(profile, &mut rng, i);
+        debug_assert!(
+            lir::verify::verify_function(&f).is_ok(),
+            "generated function must verify: {:?}\n{f}",
+            lir::verify::verify_function(&f).err()
+        );
+        m.functions.push(f);
+    }
+    m
+}
+
+/// Running state while emitting one function.
+struct Gen<'a> {
+    p: &'a Profile,
+    rng: &'a mut StdRng,
+    b: FunctionBuilder,
+    /// i64 values usable at the current point (parameters, constants and
+    /// every value defined in a dominating position).
+    ints: Vec<Operand>,
+    /// f64 values usable at the current point.
+    floats: Vec<Operand>,
+    /// Pointers to distinct 32-byte stack buffers.
+    allocas: Vec<Operand>,
+    /// Remaining instruction budget.
+    budget: usize,
+    /// Monotone counter for unique block labels (the printer/parser
+    /// round-trip requires distinct names).
+    label: usize,
+}
+
+const DATA: lir::func::GlobalId = lir::func::GlobalId(0);
+const STR: lir::func::GlobalId = lir::func::GlobalId(1);
+const TABLE: lir::func::GlobalId = lir::func::GlobalId(2);
+
+fn gen_function(p: &Profile, rng: &mut StdRng, index: usize) -> Function {
+    let n_params = rng.gen_range(1..=4);
+    let mut b = FunctionBuilder::new(format!("f{index}"), Ty::I64);
+    let mut ints = Vec::new();
+    for _ in 0..n_params {
+        ints.push(b.param(Ty::I64));
+    }
+    for k in [0i64, 1, 2, 7] {
+        ints.push(Operand::int(Ty::I64, k));
+    }
+    let entry = b.new_block("entry");
+    b.switch_to(entry);
+    let budget = if rng.gen_bool(p.tail_prob) {
+        rng.gen_range(160..640)
+    } else {
+        rng.gen_range(8..(16 * p.avg_segment).max(12))
+    };
+    let mut g = Gen { p, rng, b, ints, floats: vec![], allocas: vec![], budget, label: 0 };
+    // Stack buffers, initialized so later loads are defined.
+    let n_allocas = if g.rng.gen_bool(p.mem_prob) { g.rng.gen_range(1..=3) } else { 0 };
+    for _ in 0..n_allocas {
+        let ptr = g.b.alloca(32);
+        let init = g.pick_int();
+        g.b.store(Ty::I64, init, ptr);
+        g.allocas.push(ptr);
+    }
+    if g.rng.gen_bool(p.float_prob) {
+        let x = g.pick_int();
+        let fv = g.b.cast(CastOp::SiToFp, Ty::I64, Ty::F64, x);
+        g.floats.push(fv);
+    }
+    g.region(0);
+    // Final value: fold many live values together and return, keeping most
+    // of the computation observable (dead code is ADCE's job, but a workload
+    // that is mostly dead overstates ADCE relative to GVN).
+    let mut acc = g.pick_int();
+    let folds = 2 + g.ints.len() / 3;
+    for _ in 0..folds {
+        let x = g.pick_int();
+        let op = [BinOp::Add, BinOp::Xor, BinOp::Mul][g.rng.gen_range(0..3)];
+        acc = g.b.bin(op, Ty::I64, acc, x);
+    }
+    if !g.floats.is_empty() && g.rng.gen_bool(0.5) {
+        let fv = g.floats[g.rng.gen_range(0..g.floats.len())];
+        let iv = g.b.cast(CastOp::FpToSi, Ty::F64, Ty::I64, fv);
+        acc = g.b.bin(BinOp::Add, Ty::I64, acc, iv);
+    }
+    g.b.ret(Ty::I64, Some(acc));
+    g.b.finish()
+}
+
+impl Gen<'_> {
+    fn pick_int(&mut self) -> Operand {
+        self.ints[self.rng.gen_range(0..self.ints.len())]
+    }
+
+    fn small_const(&mut self) -> Operand {
+        Operand::int(Ty::I64, self.rng.gen_range(-16..=16))
+    }
+
+    fn block(&mut self, base: &str) -> BlockId {
+        self.label += 1;
+        let n = self.label;
+        self.b.new_block(format!("{base}{n}"))
+    }
+
+    /// Emit one region (straight / if / loop / switch) and any number of
+    /// followers, consuming budget. Control flow always falls through: on
+    /// return, the builder sits in an open block dominated by every value
+    /// pushed into the pools at this depth or above.
+    fn region(&mut self, depth: usize) {
+        loop {
+            if self.budget == 0 {
+                return;
+            }
+            let r: f64 = self.rng.gen();
+            if depth < self.p.max_depth && r < self.p.loop_prob && self.budget >= 8 {
+                self.gen_loop(depth);
+            } else if depth < self.p.max_depth && r < self.p.loop_prob + self.p.branch_prob && self.budget >= 6 {
+                self.gen_if(depth);
+            } else if depth < self.p.max_depth
+                && r < self.p.loop_prob + self.p.branch_prob + self.p.switch_prob
+                && self.budget >= 8
+            {
+                self.gen_switch(depth);
+            } else {
+                self.gen_straight();
+            }
+            if self.rng.gen_bool(0.45) || self.budget == 0 {
+                return;
+            }
+        }
+    }
+
+    /// A straight-line segment of arithmetic, memory traffic and calls.
+    fn gen_straight(&mut self) {
+        let len = self.rng.gen_range(1..=self.p.avg_segment.max(2));
+        for _ in 0..len {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let r: f64 = self.rng.gen();
+            if r < self.p.mem_prob {
+                self.gen_mem_op();
+            } else if r < self.p.mem_prob + self.p.libc_prob {
+                self.gen_call();
+            } else if r < self.p.mem_prob + self.p.libc_prob + self.p.float_prob {
+                self.gen_float_op();
+            } else {
+                self.gen_arith();
+            }
+        }
+    }
+
+    fn gen_arith(&mut self) {
+        let a = self.pick_int();
+        // Bias toward redundancy: reuse operands so GVN has work to do, and
+        // periodically emit a literal common subexpression.
+        if self.rng.gen_bool(0.3) && self.budget > 1 {
+            self.budget -= 1;
+            let x = self.pick_int();
+            let y = self.pick_int();
+            let (op, ty) = (BinOp::Add, Ty::I64);
+            let v1 = self.b.bin(op, ty, x, y);
+            let v2 = self.b.bin(op, ty, y, x); // commuted duplicate
+            self.ints.push(v1);
+            self.ints.push(v2);
+            return;
+        }
+        let b = if self.rng.gen_bool(0.3) { a } else { self.pick_int() };
+        let v = match self.rng.gen_range(0..10) {
+            0 => self.b.bin(BinOp::Add, Ty::I64, a, b),
+            1 => self.b.bin(BinOp::Sub, Ty::I64, a, b),
+            2 => self.b.bin(BinOp::Mul, Ty::I64, a, b),
+            3 => self.b.bin(BinOp::And, Ty::I64, a, b),
+            4 => self.b.bin(BinOp::Or, Ty::I64, a, b),
+            5 => self.b.bin(BinOp::Xor, Ty::I64, a, b),
+            6 => self.b.bin(BinOp::Shl, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(0..8))),
+            7 => self.b.bin(BinOp::AShr, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(0..8))),
+            // Safe division: non-zero constant divisor.
+            8 => self.b.bin(BinOp::SDiv, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(1..9))),
+            _ => {
+                let c = self.small_const();
+                self.b.bin(BinOp::Add, Ty::I64, a, c)
+            }
+        };
+        // Pools are stacks: branch points snapshot a length and truncate
+        // back to it, so never remove from the middle.
+        self.ints.push(v);
+    }
+
+    fn gen_float_op(&mut self) {
+        if self.floats.is_empty() {
+            let x = self.pick_int();
+            let fv = self.b.cast(CastOp::SiToFp, Ty::I64, Ty::F64, x);
+            self.floats.push(fv);
+            return;
+        }
+        let a = self.floats[self.rng.gen_range(0..self.floats.len())];
+        let b = self.floats[self.rng.gen_range(0..self.floats.len())];
+        let op = FBinOp::ALL[self.rng.gen_range(0..FBinOp::ALL.len())];
+        let v = self.b.fbin(op, a, b);
+        self.floats.push(v);
+    }
+
+    /// A pointer to somewhere defined: a stack buffer or a global, plus a
+    /// constant offset inside it.
+    fn pick_ptr(&mut self) -> Operand {
+        let use_alloca = !self.allocas.is_empty() && self.rng.gen_bool(0.6);
+        let (base, room) = if use_alloca {
+            (self.allocas[self.rng.gen_range(0..self.allocas.len())], 4u64)
+        } else if self.rng.gen_bool(0.5) {
+            (Operand::Global(DATA), 8u64)
+        } else {
+            (Operand::Global(TABLE), 8u64)
+        };
+        let slot = self.rng.gen_range(0..room) as i64;
+        if slot == 0 {
+            base
+        } else {
+            self.b.gep(base, Operand::int(Ty::I64, slot * 8))
+        }
+    }
+
+    fn gen_mem_op(&mut self) {
+        let ptr = self.pick_ptr();
+        let writable = !matches!(ptr, Operand::Global(TABLE))
+            && !is_gep_of(&self.b, ptr, Operand::Global(TABLE));
+        if writable && self.rng.gen_bool(0.5) {
+            let v = self.pick_int();
+            self.b.store(Ty::I64, v, ptr);
+        } else {
+            let v = self.b.load(Ty::I64, ptr);
+            self.ints.push(v);
+        }
+    }
+
+    fn gen_call(&mut self) {
+        match self.rng.gen_range(0..6) {
+            0 => {
+                let v = self.b.call(Ty::I64, "strlen", vec![(Ty::Ptr, Operand::Global(STR))]);
+                self.ints.push(v);
+            }
+            1 => {
+                let v = self.b.call(Ty::I64, "atoi", vec![(Ty::Ptr, Operand::Global(STR))]);
+                self.ints.push(v);
+            }
+            2 => {
+                let x = self.pick_int();
+                let v = self.b.call(Ty::I64, "abs", vec![(Ty::I64, x)]);
+                self.ints.push(v);
+            }
+            3 => {
+                let x = self.pick_int();
+                let v = self.b.call(Ty::I64, "ext_pure", vec![(Ty::I64, x)]);
+                self.ints.push(v);
+            }
+            4 if !self.allocas.is_empty() => {
+                let p = self.allocas[self.rng.gen_range(0..self.allocas.len())];
+                let x = Operand::int(Ty::I64, self.rng.gen_range(0..256));
+                let l = Operand::int(Ty::I64, 8 * self.rng.gen_range(1..=4));
+                self.b.call_void("memset", vec![(Ty::Ptr, p), (Ty::I64, x), (Ty::I64, l)]);
+            }
+            _ => {
+                let x = self.pick_int();
+                self.b.call_void("sink", vec![(Ty::I64, x)]);
+            }
+        }
+    }
+
+    fn gen_if(&mut self, depth: usize) {
+        self.budget = self.budget.saturating_sub(3);
+        let a = self.pick_int();
+        let b = self.pick_int();
+        let pred = IcmpPred::ALL[self.rng.gen_range(0..IcmpPred::ALL.len())];
+        let c = if self.rng.gen_bool(0.15) {
+            // A statically decidable branch: SCCP fodder.
+            let k = self.small_const();
+            let k2 = self.small_const();
+            self.b.icmp(pred, Ty::I64, k, k2)
+        } else if !self.floats.is_empty() && self.rng.gen_bool(self.p.float_prob) {
+            let x = self.floats[self.rng.gen_range(0..self.floats.len())];
+            let y = self.floats[self.rng.gen_range(0..self.floats.len())];
+            self.b.fcmp(FcmpPred::Olt, x, y)
+        } else {
+            self.b.icmp(pred, Ty::I64, a, b)
+        };
+        let then_b = self.block("then");
+        let else_b = self.block("else");
+        let join = self.block("join");
+        self.b.cond_br(c, then_b, else_b);
+
+        let pool = self.ints.len();
+        let fpool = self.floats.len();
+        self.b.switch_to(then_b);
+        self.region(depth + 1);
+        let tv = self.pick_int();
+        let t_end = self.b.current();
+        self.b.br(join);
+        self.ints.truncate(pool);
+        self.floats.truncate(fpool);
+
+        self.b.switch_to(else_b);
+        // Sometimes both branches compute the same thing (GVN/φ-collapse
+        // fodder); sometimes an early return.
+        if self.rng.gen_bool(0.10) {
+            let rv = self.pick_int();
+            self.region(depth + 1);
+            let rv2 = self.pick_int();
+            let sum = self.b.bin(BinOp::Add, Ty::I64, rv, rv2);
+            self.b.ret(Ty::I64, Some(sum));
+            self.ints.truncate(pool);
+            self.floats.truncate(fpool);
+            self.b.switch_to(join);
+            let phi = self.b.phi(join, Ty::I64);
+            self.b.add_incoming(join, phi, t_end, tv);
+            self.ints.push(phi);
+            return;
+        }
+        self.region(depth + 1);
+        let ev = self.pick_int();
+        let e_end = self.b.current();
+        self.b.br(join);
+        self.ints.truncate(pool);
+        self.floats.truncate(fpool);
+
+        self.b.switch_to(join);
+        let phi = self.b.phi(join, Ty::I64);
+        self.b.add_incoming(join, phi, t_end, tv);
+        self.b.add_incoming(join, phi, e_end, ev);
+        self.ints.push(phi);
+    }
+
+    /// A bounded counting loop with an accumulator; sometimes an invariant
+    /// body expression (LICM fodder), an invariant inner branch (unswitch
+    /// fodder), a `strlen` in the loop (the §5.3 LICM/libc false-alarm
+    /// shape) or an early exit (η with multiple exits).
+    fn gen_loop(&mut self, depth: usize) {
+        self.budget = self.budget.saturating_sub(5);
+        let trip = self.rng.gen_range(1..=6);
+        let init = self.pick_int();
+        let head = self.block("head");
+        let body = self.block("body");
+        let exit = self.block("exit");
+        let pre_end = self.b.current();
+        self.b.br(head);
+
+        self.b.switch_to(head);
+        let i = self.b.phi(head, Ty::I64);
+        let acc = self.b.phi(head, Ty::I64);
+        self.b.add_incoming(head, i, pre_end, Operand::int(Ty::I64, 0));
+        self.b.add_incoming(head, acc, pre_end, init);
+        let c = self.b.icmp(IcmpPred::Slt, Ty::I64, i, Operand::int(Ty::I64, trip));
+        self.b.cond_br(c, body, exit);
+
+        self.b.switch_to(body);
+        let pool = self.ints.len();
+        let fpool = self.floats.len();
+        self.ints.push(i);
+        self.ints.push(acc);
+        let mut early_exit_block = None;
+        // Early exit: `if (acc > K) break;`
+        if self.rng.gen_bool(0.2) {
+            let k = Operand::int(Ty::I64, self.rng.gen_range(8..64));
+            let brk = self.b.icmp(IcmpPred::Sgt, Ty::I64, acc, k);
+            let stay = self.block("stay");
+            self.b.cond_br(brk, exit, stay);
+            early_exit_block = Some(self.b.current());
+            self.b.switch_to(stay);
+        }
+        let body_branch = self.b.current();
+        let _ = body_branch;
+        // Invariant expression (LICM fodder).
+        if self.rng.gen_bool(0.4) {
+            let inv1 = self.ints[..pool.min(self.ints.len())][self.rng.gen_range(0..pool.min(self.ints.len()))];
+            let inv = self.b.bin(BinOp::Add, Ty::I64, inv1, Operand::int(Ty::I64, 3));
+            self.ints.push(inv);
+        }
+        // strlen in a loop (§5.3): hoisted by LICM, validated only with
+        // libc rules.
+        if self.rng.gen_bool(self.p.libc_prob) {
+            let v = self.b.call(Ty::I64, "strlen", vec![(Ty::Ptr, Operand::Global(STR))]);
+            self.ints.push(v);
+        }
+        if depth + 1 < self.p.max_depth && self.rng.gen_bool(0.25) && self.budget >= 8 {
+            self.gen_loop(depth + 1);
+        } else {
+            self.gen_straight();
+        }
+        // Invariant branch in the body (unswitch fodder).
+        let acc2 = if self.rng.gen_bool(0.25) && pool > 0 {
+            let inv = self.ints[self.rng.gen_range(0..pool)];
+            let cond = self.b.icmp(IcmpPred::Sgt, Ty::I64, inv, Operand::int(Ty::I64, 0));
+            let x = self.pick_int();
+            let y = self.pick_int();
+            let sel = self.b.select(Ty::I64, cond, x, y);
+            self.b.bin(BinOp::Add, Ty::I64, acc, sel)
+        } else {
+            let x = self.pick_int();
+            self.b.bin(BinOp::Add, Ty::I64, acc, x)
+        };
+        let i2 = self.b.bin(BinOp::Add, Ty::I64, i, Operand::int(Ty::I64, 1));
+        let latch = self.b.current();
+        self.b.br(head);
+        self.b.add_incoming(head, i, latch, i2);
+        self.b.add_incoming(head, acc, latch, acc2);
+        self.ints.truncate(pool);
+        self.floats.truncate(fpool);
+
+        self.b.switch_to(exit);
+        // The loop result observed after the loop: a φ if there were two
+        // ways to arrive.
+        if let Some(ee) = early_exit_block {
+            let out = self.b.phi(exit, Ty::I64);
+            self.b.add_incoming(exit, out, head, i);
+            self.b.add_incoming(exit, out, ee, acc);
+            self.ints.push(out);
+        } else {
+            self.ints.push(i);
+            if self.rng.gen_bool(0.7) {
+                self.ints.push(acc);
+            }
+        }
+    }
+
+    fn gen_switch(&mut self, depth: usize) {
+        self.budget = self.budget.saturating_sub(4);
+        let v = self.pick_int();
+        let scr = self.b.bin(BinOp::And, Ty::I64, v, Operand::int(Ty::I64, 3));
+        let n_cases = self.rng.gen_range(2..=3);
+        let mut cases = Vec::new();
+        let mut case_blocks = Vec::new();
+        for k in 0..n_cases {
+            let blk = self.block(&format!("case{k}"));
+            cases.push((k as i64, blk));
+            case_blocks.push(blk);
+        }
+        let default = self.block("default");
+        let join = self.block("swjoin");
+        self.b.switch(Ty::I64, scr, default, cases);
+        let pool = self.ints.len();
+        let fpool = self.floats.len();
+        let phi = self.b.phi(join, Ty::I64);
+        for blk in case_blocks {
+            self.b.switch_to(blk);
+            self.region(depth + 1);
+            let cv = self.pick_int();
+            let end = self.b.current();
+            self.b.br(join);
+            self.b.add_incoming(join, phi, end, cv);
+            self.ints.truncate(pool);
+            self.floats.truncate(fpool);
+        }
+        self.b.switch_to(default);
+        let dv = self.pick_int();
+        let dend = self.b.current();
+        self.b.br(join);
+        self.b.add_incoming(join, phi, dend, dv);
+        self.b.switch_to(join);
+        self.ints.push(phi);
+    }
+}
+
+fn is_gep_of(b: &FunctionBuilder, op: Operand, base: Operand) -> bool {
+    let Some(r) = op.as_reg() else { return false };
+    for (_, blk) in b.function().iter_blocks() {
+        for inst in &blk.insts {
+            if let lir::inst::Inst::Gep { dst, base: gb, .. } = inst {
+                if *dst == r {
+                    return *gb == base;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::profiles;
+    use lir::interp::{run, ExecConfig};
+
+    #[test]
+    fn generated_modules_verify() {
+        for p in profiles().iter().take(4) {
+            let mut small = *p;
+            small.functions = 8;
+            let m = generate(&small);
+            assert_eq!(m.functions.len(), 8);
+            lir::verify::verify_module(&m).expect("module verifies");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profiles()[0];
+        let mut small = p;
+        small.functions = 5;
+        let a = generate(&small);
+        let b = generate(&small);
+        assert_eq!(format!("{}", a.functions[4]), format!("{}", b.functions[4]));
+    }
+
+    #[test]
+    fn generated_functions_mostly_run_clean() {
+        let mut p = profiles()[0];
+        p.functions = 20;
+        let m = generate(&p);
+        let mut ran = 0;
+        let mut ok = 0;
+        for f in &m.functions {
+            for args_seed in 0..3u64 {
+                let args: Vec<u64> = (0..f.params.len() as u64).map(|i| args_seed * 17 + i * 3).collect();
+                ran += 1;
+                if run(&m, &f.name, &args, &ExecConfig::default()).is_ok() {
+                    ok += 1;
+                }
+            }
+        }
+        // Generated code avoids traps by construction.
+        assert!(ok * 10 >= ran * 9, "{ok}/{ran} runs trapped too often");
+    }
+
+    #[test]
+    fn profiles_differ_in_style() {
+        let ps = profiles();
+        let pick = |name: &str| ps.iter().find(|p| p.name == name).copied().unwrap();
+        let mut lbm = pick("lbm");
+        let mut gcc = pick("gcc");
+        lbm.functions = 12;
+        gcc.functions = 12;
+        let m_lbm = generate(&lbm);
+        let m_gcc = generate(&gcc);
+        let count = |m: &Module, what: &str| -> usize {
+            m.functions.iter().map(|f| format!("{f}").matches(what).count()).sum()
+        };
+        assert!(count(&m_lbm, "fadd") + count(&m_lbm, "fmul") > 0, "lbm is floaty");
+        assert!(count(&m_gcc, "switch") + count(&m_gcc, "br i1") > count(&m_lbm, "switch"), "gcc is branchy");
+    }
+}

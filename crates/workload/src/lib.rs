@@ -1,0 +1,33 @@
+//! `llvm-md-workload` — benchmark inputs for the LLVM-MD reproduction.
+//!
+//! The paper evaluates on SPEC CPU2006's pure-C programs and SQLite
+//! (Table 1). Without those sources or clang, this crate substitutes:
+//!
+//! * [`profiles`] — one seeded synthetic profile per Table-1 benchmark,
+//!   preserving scale and code style (see the module docs for the
+//!   substitution argument);
+//! * [`gen`] — the structured generator that turns a profile into a
+//!   verifier-clean, trap-free, reducible [`lir`] module;
+//! * [`corpus`] — the paper's §3–§4 running examples and targeted
+//!   stress-tests, hand-written in `lir` assembly.
+//!
+//! # Example
+//!
+//! ```
+//! use llvm_md_workload::{generate, profiles};
+//!
+//! let mut profile = profiles()[5]; // lbm: few, large, floaty functions
+//! profile.functions = 3;
+//! let module = generate(&profile);
+//! assert_eq!(module.functions.len(), 3);
+//! lir::verify::verify_module(&module)?;
+//! # Ok::<(), lir::verify::VerifyError>(())
+//! ```
+
+pub mod corpus;
+pub mod gen;
+pub mod profiles;
+
+pub use corpus::{corpus, corpus_modules};
+pub use gen::generate;
+pub use profiles::{profile, profiles, PaperRow, Profile};

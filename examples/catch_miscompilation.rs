@@ -1,0 +1,99 @@
+//! The validator as a compiler-bug net: inject three realistic
+//! miscompilations into optimizer output and show each is rejected, while
+//! the honest transformations validate.
+//!
+//! This is the translation-validation value proposition: the optimizer is
+//! a black box, and the validator certifies each function-level
+//! transformation after the fact.
+//!
+//! Run with: `cargo run --example catch_miscompilation`
+
+use llvm_md::core::{RuleSet, Validator};
+use llvm_md::lir::func::Function;
+use llvm_md::lir::inst::{BinOp, IcmpPred, Inst};
+use llvm_md::lir::parse::parse_module;
+use llvm_md::opt::paper_pipeline;
+
+/// A "buggy pass": flips the first comparison predicate it sees
+/// (a classic inverted-branch miscompilation).
+fn flip_a_branch(f: &mut Function) -> bool {
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Inst::Icmp { pred, .. } = inst {
+                *pred = pred.negated();
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// A "buggy pass": turns the first `sub` into an `add` (operand mix-up).
+fn sub_becomes_add(f: &mut Function) -> bool {
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Inst::Bin { op, .. } = inst {
+                if *op == BinOp::Sub {
+                    *op = BinOp::Add;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// A "buggy pass": off-by-one in a loop bound (`<` becomes `<=`).
+fn off_by_one(f: &mut Function) -> bool {
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Inst::Icmp { pred, .. } = inst {
+                if *pred == IcmpPred::Slt {
+                    *pred = IcmpPred::Sle;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = parse_module(
+        "define i64 @clamp_sum(i64 %n, i64 %lo) {\n\
+         entry:\n  br label %head\n\
+         head:\n  %i = phi i64 [ 0, %entry ], [ %i2, %body ]\n\
+         %acc = phi i64 [ 0, %entry ], [ %acc2, %body ]\n\
+         %c = icmp slt i64 %i, %n\n  br i1 %c, label %body, label %done\n\
+         body:\n  %d = sub i64 %i, %lo\n  %acc2 = add i64 %acc, %d\n\
+         %i2 = add i64 %i, 1\n  br label %head\n\
+         done:\n  ret i64 %acc\n\
+         }\n",
+    )?;
+    let f = &m.functions[0];
+    // The validator runs with every rule it has — a bug must be rejected
+    // even when the validator is at its most permissive.
+    let validator = Validator { rules: RuleSet::full(), ..Validator::new() };
+
+    // Honest optimization validates.
+    let mut honest = m.clone();
+    paper_pipeline().run_module(&mut honest);
+    let verdict = validator.validate(f, &honest.functions[0]);
+    println!("honest pipeline:    validated = {}", verdict.validated);
+    assert!(verdict.validated, "{:?}", verdict.reason);
+
+    // Each injected bug is caught.
+    for (name, bug) in [
+        ("inverted branch", flip_a_branch as fn(&mut Function) -> bool),
+        ("sub became add", sub_becomes_add),
+        ("off-by-one bound", off_by_one),
+    ] {
+        let mut bad = honest.clone();
+        assert!(bug(&mut bad.functions[0]), "bug injector found a target");
+        let verdict = validator.validate(f, &bad.functions[0]);
+        println!("{name:18}: validated = {} ({})", verdict.validated, verdict.reason.clone().expect("alarm"));
+        assert!(!verdict.validated, "{name} slipped through!");
+    }
+    println!("\nall three miscompilations rejected; honest output certified");
+    Ok(())
+}

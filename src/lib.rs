@@ -1,0 +1,20 @@
+//! `llvm-md` — umbrella crate for the LLVM-MD translation-validation
+//! reproduction (Tristan, Govereau & Morrisett, PLDI 2011).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`lir`] — the LLVM-like SSA IR, analyses and interpreter;
+//! * [`opt`](lir_opt) — the black-box optimizer (mem2reg, ADCE, GVN, SCCP,
+//!   LICM, loop deletion, loop unswitching, DSE, instcombine);
+//! * [`gated`](gated_ssa) — Monadic Gated SSA construction;
+//! * [`core`](llvm_md_core) — the normalizing value-graph validator;
+//! * [`driver`](llvm_md_driver) — the `llvm-md` pipeline and reporting;
+//! * [`workload`](llvm_md_workload) — synthetic benchmarks and corpus.
+
+pub use gated_ssa as gated;
+pub use lir;
+pub use lir_opt as opt;
+pub use llvm_md_core as core;
+pub use llvm_md_driver as driver;
+pub use llvm_md_workload as workload;

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) for the validator stack's core
+//! invariants:
+//!
+//! * printer/parser round-trip over generated modules;
+//! * gated-SSA construction is deterministic and register-name independent;
+//! * validation is reflexive (`validate(f, f)`) for every reducible f, with
+//!   zero rewrites;
+//! * hash-consing: structurally equal expressions always share a node;
+//! * rewriting preserves concrete evaluation on random acyclic expression
+//!   graphs (rule soundness);
+//! * the union-find's `replace` keeps the new structure canonical.
+
+use lir::inst::BinOp;
+use lir::types::Ty;
+use lir::value::Constant;
+use llvm_md::core::{RuleBudgets, RuleSet, SharedGraph, Validator};
+use llvm_md::gated::{Node, NodeId};
+use llvm_md::workload::{generate, profiles};
+use proptest::prelude::*;
+
+/// A tiny expression language for building acyclic value graphs whose
+/// concrete value we can compute independently.
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(i64),
+    Param(u32),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-64i64..=64).prop_map(Expr::Const),
+        (0u32..4).prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(4, 48, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+                Just(BinOp::Shl),
+                Just(BinOp::LShr),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn build(g: &mut SharedGraph, e: &Expr) -> NodeId {
+    match e {
+        Expr::Const(k) => g.add(Node::Const(Constant::int(Ty::I64, *k))),
+        Expr::Param(i) => g.add(Node::Param(*i)),
+        Expr::Bin(op, a, b) => {
+            let (x, y) = (build(g, a), build(g, b));
+            g.add(Node::Bin(*op, Ty::I64, x, y))
+        }
+    }
+}
+
+fn eval(e: &Expr, params: &[u64; 4]) -> Option<u64> {
+    Some(match e {
+        Expr::Const(k) => *k as u64,
+        Expr::Param(i) => params[*i as usize],
+        Expr::Bin(op, a, b) => {
+            lir::inst::eval_binop(*op, Ty::I64, eval(a, params)?, eval(b, params)?).ok()?
+        }
+    })
+}
+
+/// Evaluate a (rewritten, still acyclic) graph node concretely.
+fn eval_node(g: &SharedGraph, n: NodeId, params: &[u64; 4]) -> Option<u64> {
+    match g.resolve(n) {
+        Node::Const(c) => c.as_bits(),
+        Node::Param(i) => Some(params[i as usize]),
+        Node::Bin(op, ty, a, b) => {
+            lir::inst::eval_binop(op, ty, eval_node(g, a, params)?, eval_node(g, b, params)?).ok()
+        }
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Hash-consing: building the same expression twice yields the same id;
+    /// commutative operands share modulo order.
+    #[test]
+    fn hashconsing_is_structural(e in arb_expr()) {
+        let mut g = SharedGraph::new();
+        let a = build(&mut g, &e);
+        let b = build(&mut g, &e);
+        prop_assert_eq!(a, b);
+        if let Expr::Bin(op, x, y) = &e {
+            if op.is_commutative() {
+                let swapped = Expr::Bin(*op, y.clone(), x.clone());
+                let c = build(&mut g, &swapped);
+                prop_assert_eq!(g.find(a), g.find(c), "commutative ops are order-canonical");
+            }
+        }
+    }
+
+    /// Rule soundness on acyclic graphs: normalization never changes the
+    /// concrete value of an expression.
+    #[test]
+    fn rewrites_preserve_evaluation(e in arb_expr(), p0 in any::<u64>(), p1 in any::<u64>()) {
+        let params = [p0, p1, 55, 0];
+        let Some(expected) = eval(&e, &params) else { return Ok(()); };
+        let mut g = SharedGraph::new();
+        let root = build(&mut g, &e);
+        let rules = RuleSet::full();
+        let mut counts = llvm_md::core::RewriteCounts::default();
+        let mut budgets = RuleBudgets::default();
+        for _ in 0..16 {
+            g.rebuild();
+            if llvm_md::core::rules::apply_rules(&mut g, &[root], &rules, &mut counts, &mut budgets) == 0 {
+                break;
+            }
+        }
+        g.rebuild();
+        let got = eval_node(&g, root, &params);
+        prop_assert_eq!(got, Some(expected), "normalized graph evaluates differently");
+    }
+
+    /// Reflexivity: every generated (reducible) function validates against
+    /// itself with zero rewrites — the O(1) best case of §2.
+    #[test]
+    fn validation_is_reflexive(seed in 0u64..500) {
+        let mut p = profiles()[(seed % 12) as usize];
+        p.functions = 1;
+        p.seed = seed * 911 + 13;
+        let m = generate(&p);
+        let v = Validator { rules: RuleSet::none(), ..Validator::new() };
+        let verdict = v.validate(&m.functions[0], &m.functions[0]);
+        prop_assert!(verdict.validated);
+        prop_assert_eq!(verdict.stats.rewrites.total(), 0);
+    }
+
+    /// Printer/parser round-trip on whole generated modules.
+    #[test]
+    fn print_parse_roundtrip(seed in 0u64..200) {
+        let mut p = profiles()[(seed % 12) as usize];
+        p.functions = 2;
+        p.seed = seed.wrapping_mul(0x9e37) + 7;
+        let m = generate(&p);
+        let text = format!("{m}");
+        let reparsed = lir::parse::parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e:?}\n{text}")))?;
+        // The parser assigns register numbers by first occurrence, so the
+        // round trip is compared modulo renumbering: canonicalized
+        // functions must print identically.
+        prop_assert_eq!(m.functions.len(), reparsed.functions.len());
+        for (a, b) in m.functions.iter().zip(reparsed.functions.iter()) {
+            prop_assert_eq!(
+                format!("{}", a.canonicalized()),
+                format!("{}", b.canonicalized()),
+                "round trip changed function semantics"
+            );
+        }
+    }
+
+    /// Gating is name-independent: renumbering registers/blocks leaves the
+    /// value graph identical.
+    #[test]
+    fn gating_ignores_names(seed in 0u64..200) {
+        let mut p = profiles()[(seed % 12) as usize];
+        p.functions = 1;
+        p.seed = seed * 131 + 3;
+        let m = generate(&p);
+        let f = &m.functions[0];
+        let g1 = llvm_md::gated::build(f).expect("reducible by construction");
+        let g2 = llvm_md::gated::build(&f.canonicalized()).expect("still reducible");
+        let r1 = g1.ret.map(|r| g1.graph.display(r));
+        let r2 = g2.ret.map(|r| g2.graph.display(r));
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(g1.graph.display(g1.mem), g2.graph.display(g2.mem));
+    }
+}
+
+#[test]
+fn replace_makes_new_structure_canonical() {
+    let mut g = SharedGraph::new();
+    let a = g.add(Node::Param(0));
+    let zero = g.add(Node::Const(Constant::int(Ty::I64, 0)));
+    let sum = g.add(Node::Bin(BinOp::Add, Ty::I64, a, zero));
+    g.replace(sum, a);
+    assert!(g.same(sum, a));
+    assert!(matches!(g.resolve(sum), Node::Param(0)), "new structure wins");
+}
