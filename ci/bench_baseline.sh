@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate the perf-baseline artifacts at the repo root:
+#
+#   BENCH_fig4.json   end-to-end pipeline: validated fraction + wall-clock
+#   BENCH_micro.json  micro-benchmarks: gating / import / validate medians
+#
+# Future PRs compare their numbers against the committed artifacts, so the
+# perf trajectory of the validator is mechanical to follow. Extra arguments
+# (e.g. `--scale 1` for the full suite) are forwarded to fig4_pipeline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> fig4 pipeline (BENCH_fig4.json)"
+cargo run --release --offline -q -p llvm_md_bench --bin fig4_pipeline -- "$@"
+
+echo "==> micro-benchmarks (BENCH_micro.json)"
+cargo bench --offline -q -p llvm_md_bench
+
+echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json)"

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The pre-PR gate: exactly what .github/workflows/ci.yml runs, as one local
+# command. Everything is --offline — the workspace has zero crates.io
+# dependencies by policy (see README.md), so a hermetic run is always
+# possible.
+#
+# Usage: ci/check.sh [--fast]
+#   --fast   skip the release build and the examples smoke test (quick
+#            inner-loop check: fmt + clippy + tests)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --workspace --all-targets --release --offline
+fi
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> examples smoke test"
+  for e in quickstart certify_pipeline catch_miscompilation rule_ablation; do
+    echo "---- example $e"
+    cargo run --release --offline -q --example "$e" > /dev/null
+  done
+fi
+
+echo "OK: all checks passed"

@@ -5,9 +5,12 @@
 //! combination slightly (not significantly) better. This harness runs the
 //! full pipeline under each strategy (plus no cycle matching at all, to
 //! show matching is load-bearing for loop code).
+//!
+//! Writes `BENCH_ablation.json` with the per-strategy totals.
 
 use lir_opt::paper_pipeline;
-use llvm_md_bench::{pct, scale_from_args, suite};
+use llvm_md_bench::json::Json;
+use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{MatchStrategy, Validator};
 use llvm_md_driver::llvm_md;
 
@@ -47,4 +50,21 @@ fn main() {
     }
     println!("\n\npaper shape: unification ≈ partitioning; combined slightly (not significantly) better;");
     println!("all three far above no-matching on loop-heavy code");
+    let artifact = Json::obj([
+        ("exhibit", Json::str("ablation_cycle_matching")),
+        ("scale", Json::num(scale as f64)),
+        (
+            "strategies",
+            Json::arr(strategies.iter().zip(&totals).map(|((_, name), (t, v))| {
+                Json::obj([
+                    ("strategy", Json::str(*name)),
+                    ("transformed", Json::num(*t as f64)),
+                    ("validated", Json::num(*v as f64)),
+                    ("validated_pct", Json::num(pct(*v, *t))),
+                ])
+            })),
+        ),
+    ]);
+    let path = write_artifact("ablation", &artifact).expect("write BENCH_ablation.json");
+    println!("wrote {}", path.display());
 }

@@ -6,8 +6,11 @@
 //! reproduce: GVN transforms by far the most functions *and* is the hardest
 //! to validate; ADCE/loop-deletion mostly validate for free (dead code never
 //! enters the value graph).
+//!
+//! Writes `BENCH_fig5.json` with the per-pass totals.
 
-use llvm_md_bench::{pct, scale_from_args, suite};
+use llvm_md_bench::json::Json;
+use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::Validator;
 use llvm_md_driver::run_single_pass;
 
@@ -61,4 +64,21 @@ fn main() {
          important as it performs many more transformations\" observation {}",
         if gvn == most { "holds" } else { "does NOT hold" }
     );
+    let artifact = Json::obj([
+        ("exhibit", Json::str("fig5_per_opt")),
+        ("scale", Json::num(scale as f64)),
+        (
+            "passes",
+            Json::arr(PASSES.iter().zip(&totals).map(|((pass, _), (t, v))| {
+                Json::obj([
+                    ("pass", Json::str(*pass)),
+                    ("transformed", Json::num(*t as f64)),
+                    ("validated", Json::num(*v as f64)),
+                    ("validated_pct", Json::num(pct(*v, *t))),
+                ])
+            })),
+        ),
+    ]);
+    let path = write_artifact("fig5", &artifact).expect("write BENCH_fig5.json");
+    println!("wrote {}", path.display());
 }

@@ -6,10 +6,15 @@
 //! simplification, (6) +commuting rules. The paper's shape: roughly 50%
 //! validates with *no rules at all* (symbolic evaluation hides syntactic
 //! detail), and each group adds benchmark-dependent improvements.
+//!
+//! Writes `BENCH_fig6.json` with the per-step totals.
 
-use llvm_md_bench::{pct, scale_from_args, suite};
+use llvm_md_bench::json::Json;
+use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{RuleSet, Validator};
 use llvm_md_driver::run_single_pass;
+
+const STEPS: [&str; 6] = ["none", "+phi", "+cfold", "+ldst", "+eta", "+commute"];
 
 fn main() {
     let scale = scale_from_args();
@@ -22,20 +27,17 @@ fn main() {
     let mut totals = vec![(0usize, 0usize); 6];
     for (p, m) in suite(scale) {
         let mut row = format!("{:12}", p.name);
-        let mut xform = 0;
         for step in 1..=6 {
             let v = Validator { rules: RuleSet::fig6_step(step), ..Validator::new() };
             let report = run_single_pass(&m, "gvn", &v);
-            xform = report.transformed();
             totals[step - 1].0 += report.transformed();
             totals[step - 1].1 += report.validated();
             if step == 1 {
-                row += &format!(" {xform:>6} |");
+                row += &format!(" {:>6} |", report.transformed());
             }
             row += &format!(" {:>7.1}%", pct(report.validated(), report.transformed()));
         }
         println!("{row}");
-        let _ = xform;
     }
     println!("{}", "-".repeat(78));
     print!("{:12} {:>6} |", "overall", totals[0].0);
@@ -43,4 +45,21 @@ fn main() {
         print!(" {:>7.1}%", pct(*v, *t));
     }
     println!("\n\npaper shape: ~50% with no rules, monotone improvement per group");
+    let artifact = Json::obj([
+        ("exhibit", Json::str("fig6_gvn_rules")),
+        ("scale", Json::num(scale as f64)),
+        (
+            "steps",
+            Json::arr(STEPS.iter().zip(&totals).map(|(step, (t, v))| {
+                Json::obj([
+                    ("rules", Json::str(*step)),
+                    ("transformed", Json::num(*t as f64)),
+                    ("validated", Json::num(*v as f64)),
+                    ("validated_pct", Json::num(pct(*v, *t))),
+                ])
+            })),
+        ),
+    ]);
+    let path = write_artifact("fig6", &artifact).expect("write BENCH_fig6.json");
+    println!("wrote {}", path.display());
 }

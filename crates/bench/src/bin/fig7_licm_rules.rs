@@ -6,28 +6,28 @@
 //! loop-invariant values, so hoisting is invisible); all rules improve only
 //! slightly; the residual false alarms are `strlen`-style libc hoists,
 //! which disappear once libc knowledge is enabled (§5.3).
+//!
+//! Writes `BENCH_fig7.json` with the per-configuration totals.
 
-use llvm_md_bench::{pct, scale_from_args, suite};
+use llvm_md_bench::json::Json;
+use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{RuleSet, Validator};
 use llvm_md_driver::run_single_pass;
 
 fn main() {
     let scale = scale_from_args();
     println!("Figure 7: LICM validation % by rule configuration (1/{scale} scale)");
-    println!(
-        "{:12} {:>6} | {:>8} {:>8} {:>8}",
-        "benchmark", "xform", "none", "all", "all+libc"
-    );
+    println!("{:12} {:>6} | {:>8} {:>8} {:>8}", "benchmark", "xform", "none", "all", "all+libc");
     println!("{}", "-".repeat(52));
     let configs = [
-        RuleSet::none(),
-        RuleSet::all(),
-        RuleSet { libc: true, ..RuleSet::all() },
+        ("none", RuleSet::none()),
+        ("all", RuleSet::all()),
+        ("all+libc", RuleSet { libc: true, ..RuleSet::all() }),
     ];
     let mut totals = vec![(0usize, 0usize); configs.len()];
     for (p, m) in suite(scale) {
         let mut row = format!("{:12}", p.name);
-        for (i, rules) in configs.iter().enumerate() {
+        for (i, (_, rules)) in configs.iter().enumerate() {
             let v = Validator { rules: *rules, ..Validator::new() };
             let report = run_single_pass(&m, "licm", &v);
             totals[i].0 += report.transformed();
@@ -46,4 +46,21 @@ fn main() {
     }
     println!("\n\npaper shape: 75-80% baseline with no rules; small gain from general rules;");
     println!("libc knowledge removes the residual strlen-hoist false alarms");
+    let artifact = Json::obj([
+        ("exhibit", Json::str("fig7_licm_rules")),
+        ("scale", Json::num(scale as f64)),
+        (
+            "configs",
+            Json::arr(configs.iter().zip(&totals).map(|((name, _), (t, v))| {
+                Json::obj([
+                    ("rules", Json::str(*name)),
+                    ("transformed", Json::num(*t as f64)),
+                    ("validated", Json::num(*v as f64)),
+                    ("validated_pct", Json::num(pct(*v, *t))),
+                ])
+            })),
+        ),
+    ]);
+    let path = write_artifact("fig7", &artifact).expect("write BENCH_fig7.json");
+    println!("wrote {}", path.display());
 }

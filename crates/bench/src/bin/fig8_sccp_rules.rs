@@ -4,10 +4,15 @@
 //! (1) no rules, (2) +constant folding, (3) +φ simplification, (4) all
 //! rules. The paper's shape: very poor with no rules, an immediate jump
 //! from constant folding, a further benchmark-dependent jump from φ rules.
+//!
+//! Writes `BENCH_fig8.json` with the per-step totals.
 
-use llvm_md_bench::{pct, scale_from_args, suite};
+use llvm_md_bench::json::Json;
+use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{RuleSet, Validator};
 use llvm_md_driver::run_single_pass;
+
+const STEPS: [&str; 4] = ["none", "+cfold", "+phi", "all"];
 
 fn main() {
     let scale = scale_from_args();
@@ -39,4 +44,21 @@ fn main() {
     }
     println!("\n\npaper shape: poor with no rules; constant folding gives the big jump;");
     println!("phi rules help branchy benchmarks further");
+    let artifact = Json::obj([
+        ("exhibit", Json::str("fig8_sccp_rules")),
+        ("scale", Json::num(scale as f64)),
+        (
+            "steps",
+            Json::arr(STEPS.iter().zip(&totals).map(|(step, (t, v))| {
+                Json::obj([
+                    ("rules", Json::str(*step)),
+                    ("transformed", Json::num(*t as f64)),
+                    ("validated", Json::num(*v as f64)),
+                    ("validated_pct", Json::num(pct(*v, *t))),
+                ])
+            })),
+        ),
+    ]);
+    let path = write_artifact("fig8", &artifact).expect("write BENCH_fig8.json");
+    println!("wrote {}", path.display());
 }

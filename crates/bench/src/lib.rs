@@ -13,15 +13,23 @@
 //! | Fig. 8 | `fig8_sccp_rules` | SCCP validation % over its four rule configurations |
 //! | §5.4 | `ablation_cycle_matching` | unification vs partitioning vs combined |
 //!
-//! Criterion micro-benchmarks (gating, normalization, end-to-end validation
-//! at several function sizes) live in `benches/criterion_micro.rs`.
+//! Micro-benchmarks (gating, normalization, end-to-end validation at
+//! several function sizes) live in `benches/micro.rs`, driven by the
+//! in-repo [`timing`] harness (warmup + median-of-N; no criterion — the
+//! workspace is zero-dependency and builds offline).
 //!
 //! Every binary accepts `--scale N` (default 4): benchmark function counts
 //! are divided by `N` so a full figure regenerates in seconds; `--scale 1`
-//! runs the full synthetic suite.
+//! runs the full synthetic suite. Each binary also writes a
+//! machine-readable `BENCH_<exhibit>.json` (see [`write_artifact`]) so the
+//! perf trajectory across PRs can be compared mechanically.
+
+pub mod json;
+pub mod timing;
 
 use lir::func::Module;
 use llvm_md_workload::{generate, profiles, Profile};
+use std::path::PathBuf;
 
 /// Parse a `--scale N` argument (default 4).
 pub fn scale_from_args() -> usize {
@@ -54,6 +62,21 @@ pub fn pct(validated: usize, transformed: usize) -> f64 {
     } else {
         100.0 * validated as f64 / transformed as f64
     }
+}
+
+/// Write `BENCH_<name>.json` into `$BENCH_OUT_DIR` (default: the workspace
+/// root, so artifacts land in one place whether the caller is a `cargo run`
+/// binary, whose working directory is wherever cargo was invoked, or a
+/// `cargo bench` harness, whose working directory is the package root).
+/// Returns the path written.
+pub fn write_artifact(name: &str, body: &json::Json) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("BENCH_OUT_DIR").map_or_else(
+        || PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        PathBuf::from,
+    );
+    let path = dir.join(format!("BENCH_{name}.json"));
+    body.write_to(&path)?;
+    Ok(path)
 }
 
 /// A fixed-width horizontal bar for terminal "figures".

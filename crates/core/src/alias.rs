@@ -42,9 +42,15 @@ pub fn ptr_info(g: &SharedGraph, mut p: NodeId) -> GPtrInfo {
     for _ in 0..64 {
         p = g.find(p);
         match g.node(p) {
-            Node::GlobalAddr(gid) => return GPtrInfo { base: GBase::Global(*gid), offset: known.then_some(offset) },
-            Node::Param(i) => return GPtrInfo { base: GBase::Param(*i), offset: known.then_some(offset) },
-            Node::Alloca { .. } => return GPtrInfo { base: GBase::Alloca(p), offset: known.then_some(offset) },
+            Node::GlobalAddr(gid) => {
+                return GPtrInfo { base: GBase::Global(*gid), offset: known.then_some(offset) }
+            }
+            Node::Param(i) => {
+                return GPtrInfo { base: GBase::Param(*i), offset: known.then_some(offset) }
+            }
+            Node::Alloca { .. } => {
+                return GPtrInfo { base: GBase::Alloca(p), offset: known.then_some(offset) }
+            }
             Node::Gep(base, off) => {
                 match g.node(g.find(*off)) {
                     Node::Const(c) => match c.as_int() {
@@ -74,8 +80,8 @@ impl Escapes {
     pub fn compute(g: &SharedGraph, live: &[bool]) -> Escapes {
         // derives[n] = true when n is an alloca or a gep chain off one.
         let mut derives = vec![false; g.len()];
-        for i in 0..g.len() {
-            if !live[i] {
+        for (i, &is_live) in live.iter().enumerate().take(g.len()) {
+            if !is_live {
                 continue;
             }
             let id = NodeId(i as u32);
@@ -121,8 +127,8 @@ impl Escapes {
                 escaped[n.index()] = true;
             }
         };
-        for i in 0..g.len() {
-            if !live[i] {
+        for (i, &is_live) in live.iter().enumerate().take(g.len()) {
+            if !is_live {
                 continue;
             }
             let id = NodeId(i as u32);
@@ -132,7 +138,9 @@ impl Escapes {
             match g.node(id).clone() {
                 Node::Load { ptr: _, mem: _, .. } => {} // address use: fine
                 Node::Store { val, ptr: _, mem: _, .. } => mark(g, &mut escaped, val),
-                Node::CallPure { args, .. } | Node::CallVal { args, .. } | Node::CallMem { args, .. } => {
+                Node::CallPure { args, .. }
+                | Node::CallVal { args, .. }
+                | Node::CallMem { args, .. } => {
                     for a in args.iter() {
                         mark(g, &mut escaped, *a);
                     }
@@ -183,7 +191,14 @@ fn same_base(g: &SharedGraph, esc: Option<&Escapes>, a: GBase, b: GBase) -> Opti
 }
 
 /// May an access of `asize` bytes at `a` overlap `bsize` bytes at `b`?
-pub fn may_alias(g: &SharedGraph, esc: Option<&Escapes>, a: NodeId, asize: u64, b: NodeId, bsize: u64) -> bool {
+pub fn may_alias(
+    g: &SharedGraph,
+    esc: Option<&Escapes>,
+    a: NodeId,
+    asize: u64,
+    b: NodeId,
+    bsize: u64,
+) -> bool {
     let ia = ptr_info(g, a);
     let ib = ptr_info(g, b);
     match same_base(g, esc, ia.base, ib.base) {
@@ -199,7 +214,14 @@ pub fn may_alias(g: &SharedGraph, esc: Option<&Escapes>, a: NodeId, asize: u64, 
 }
 
 /// True when the two accesses provably cannot overlap.
-pub fn no_alias(g: &SharedGraph, esc: Option<&Escapes>, a: NodeId, asize: u64, b: NodeId, bsize: u64) -> bool {
+pub fn no_alias(
+    g: &SharedGraph,
+    esc: Option<&Escapes>,
+    a: NodeId,
+    asize: u64,
+    b: NodeId,
+    bsize: u64,
+) -> bool {
     !may_alias(g, esc, a, asize, b, bsize)
 }
 
@@ -210,7 +232,9 @@ pub fn must_alias(g: &SharedGraph, a: NodeId, b: NodeId) -> bool {
     }
     let ia = ptr_info(g, a);
     let ib = ptr_info(g, b);
-    same_base(g, None, ia.base, ib.base) == Some(true) && ia.offset.is_some() && ia.offset == ib.offset
+    same_base(g, None, ia.base, ib.base) == Some(true)
+        && ia.offset.is_some()
+        && ia.offset == ib.offset
 }
 
 /// True when `p` is (a `gep` chain off) a stack allocation — the accesses

@@ -84,7 +84,9 @@ pub fn unify_all(g: &mut SharedGraph, roots: &[NodeId]) -> usize {
                 if a == b {
                     continue;
                 }
-                let (Node::Mu { depth: da, .. }, Node::Mu { depth: db, .. }) = (g.node(a), g.node(b)) else {
+                let (Node::Mu { depth: da, .. }, Node::Mu { depth: db, .. }) =
+                    (g.node(a), g.node(b))
+                else {
                     continue;
                 };
                 if da != db {
@@ -110,7 +112,13 @@ pub fn unify_all(g: &mut SharedGraph, roots: &[NodeId]) -> usize {
 }
 
 /// Coinductive structural unification of `a` and `b` under `assumed` pairs.
-fn unify(g: &SharedGraph, a: NodeId, b: NodeId, assumed: &mut Vec<(NodeId, NodeId)>, steps: &mut u32) -> bool {
+fn unify(
+    g: &SharedGraph,
+    a: NodeId,
+    b: NodeId,
+    assumed: &mut Vec<(NodeId, NodeId)>,
+    steps: &mut u32,
+) -> bool {
     let (a, b) = (g.find(a), g.find(b));
     if a == b {
         return true;
@@ -126,7 +134,10 @@ fn unify(g: &SharedGraph, a: NodeId, b: NodeId, assumed: &mut Vec<(NodeId, NodeI
     // Only μ pairs may be assumed equal (they are the cycle cutpoints);
     // everything else must match structurally.
     match (&na, &nb) {
-        (Node::Mu { depth: da, init: ia, next: xa }, Node::Mu { depth: db, init: ib, next: xb }) => {
+        (
+            Node::Mu { depth: da, init: ia, next: xa },
+            Node::Mu { depth: db, init: ib, next: xb },
+        ) => {
             if da != db {
                 return false;
             }
@@ -158,7 +169,8 @@ fn unify(g: &SharedGraph, a: NodeId, b: NodeId, assumed: &mut Vec<(NodeId, NodeI
         }
         (Node::Icmp(pa, tya, a1, a2), Node::Icmp(pb, tyb, b1, b2)) if tya == tyb => {
             let before = assumed.len();
-            if pa == pb && unify(g, *a1, *b1, assumed, steps) && unify(g, *a2, *b2, assumed, steps) {
+            if pa == pb && unify(g, *a1, *b1, assumed, steps) && unify(g, *a2, *b2, assumed, steps)
+            {
                 return true;
             }
             assumed.truncate(before);
@@ -213,7 +225,8 @@ pub fn partition_refine(g: &mut SharedGraph, roots: &[NodeId]) -> usize {
     if nodes.is_empty() {
         return 0;
     }
-    let index: HashMap<NodeId, usize> = nodes.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> =
+        nodes.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
     let pred_rank = |p: lir::inst::IcmpPred| -> u32 {
         lir::inst::IcmpPred::ALL.iter().position(|&q| q == p).expect("known pred") as u32
     };

@@ -162,7 +162,11 @@ impl SharedGraph {
     /// Allocate a fresh nominal μ-node.
     pub fn new_mu(&mut self, depth: u32, init: NodeId, next: Option<NodeId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node::Mu { depth, init: self.find(init), next: next.map_or(id, |n| self.find(n)) });
+        self.nodes.push(Node::Mu {
+            depth,
+            init: self.find(init),
+            next: next.map_or(id, |n| self.find(n)),
+        });
         self.parent.push(id.0);
         id
     }
@@ -207,17 +211,20 @@ impl SharedGraph {
                 _ => {
                     let mut copy = n.clone();
                     copy.map_children(|c| {
-                        assert!(c.index() < their_id.index() || g.node(c).is_mu(), "forward edge to non-mu");
+                        assert!(
+                            c.index() < their_id.index() || g.node(c).is_mu(),
+                            "forward edge to non-mu"
+                        );
                         map[c.index()]
                     });
                     match &mut copy {
-                        Node::CallPure { callee, .. } | Node::CallVal { callee, .. } | Node::CallMem { callee, .. } => {
-                            let mapped = *callee_map
-                                .entry(*callee)
-                                .or_insert_with(|| {
-                                    let name = g.callee_name(*callee).to_owned();
-                                    self.callee(&name)
-                                });
+                        Node::CallPure { callee, .. }
+                        | Node::CallVal { callee, .. }
+                        | Node::CallMem { callee, .. } => {
+                            let mapped = *callee_map.entry(*callee).or_insert_with(|| {
+                                let name = g.callee_name(*callee).to_owned();
+                                self.callee(&name)
+                            });
                             *callee = mapped;
                         }
                         _ => {}

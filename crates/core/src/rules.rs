@@ -20,7 +20,9 @@
 use crate::alias::{must_alias, no_alias, ptr_info, stack_rooted, Escapes, GBase};
 use crate::graph::SharedGraph;
 use gated_ssa::node::{Node, NodeId};
-use lir::inst::{eval_binop, eval_cast, eval_fbinop, eval_fcmp, eval_icmp, BinOp, CastOp, IcmpPred};
+use lir::inst::{
+    eval_binop, eval_cast, eval_fbinop, eval_fcmp, eval_icmp, BinOp, CastOp, IcmpPred,
+};
 use lir::types::Ty;
 use lir::value::Constant;
 use std::collections::HashMap;
@@ -47,14 +49,30 @@ pub struct RuleSet {
 impl RuleSet {
     /// No rules at all: pure symbolic evaluation + hash-consing.
     pub fn none() -> RuleSet {
-        RuleSet { phi: false, constfold: false, loadstore: false, eta: false, commuting: false, libc: false, float: false }
+        RuleSet {
+            phi: false,
+            constfold: false,
+            loadstore: false,
+            eta: false,
+            commuting: false,
+            libc: false,
+            float: false,
+        }
     }
 
     /// The paper's default configuration: every general and
     /// optimization-specific rule, but no libc knowledge and no float
     /// folding (their stated false-alarm sources).
     pub fn all() -> RuleSet {
-        RuleSet { phi: true, constfold: true, loadstore: true, eta: true, commuting: true, libc: false, float: false }
+        RuleSet {
+            phi: true,
+            constfold: true,
+            loadstore: true,
+            eta: true,
+            commuting: true,
+            libc: false,
+            float: false,
+        }
     }
 
     /// Everything, including the opt-in groups.
@@ -135,7 +153,13 @@ pub struct RewriteCounts {
 impl RewriteCounts {
     /// Total rewrites.
     pub fn total(&self) -> u64 {
-        self.phi + self.constfold + self.loadstore + self.eta + self.commuting + self.libc + self.float
+        self.phi
+            + self.constfold
+            + self.loadstore
+            + self.eta
+            + self.commuting
+            + self.libc
+            + self.float
     }
 }
 
@@ -148,16 +172,10 @@ impl RewriteCounts {
 /// evidence for "the other side unswitched here" — the paper's observation
 /// that complex φs are where "essentially all of the technical
 /// difficulties lie" (§5.4).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RuleBudgets {
     /// Remaining graph-level loop unswitchings.
     pub unswitches: u32,
-}
-
-impl Default for RuleBudgets {
-    fn default() -> Self {
-        RuleBudgets { unswitches: 0 }
-    }
 }
 
 /// Which group produced a rewrite.
@@ -187,8 +205,8 @@ pub fn apply_rules(
     let evidence = unswitch_evidence(g, &live);
     let mut rewrites = 0;
     let upper = live.len(); // nodes added during the sweep are visited next round
-    for i in 0..upper {
-        if !live[i] {
+    for (i, &is_live) in live.iter().enumerate().take(upper) {
+        if !is_live {
             continue;
         }
         let id = NodeId(i as u32);
@@ -334,7 +352,8 @@ fn try_phi(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
                 return None;
             };
             let kc = as_const(g, k)?;
-            let keep = (kc.is_true() && *pred == IcmpPred::Eq) || (kc.is_false() && *pred == IcmpPred::Ne);
+            let keep =
+                (kc.is_true() && *pred == IcmpPred::Eq) || (kc.is_false() && *pred == IcmpPred::Ne);
             if !kc.is_true() && !kc.is_false() {
                 return None;
             }
@@ -398,24 +417,38 @@ fn try_constfold(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
             }
             // For commutative ops the constant may sit on either side
             // (operand order is canonicalized by id, not by kind).
-            let (a, b) = if op.is_commutative() && as_const(g, *a).is_some() && as_const(g, *b).is_none() {
-                (b, a)
-            } else {
-                (a, b)
-            };
+            let (a, b) =
+                if op.is_commutative() && as_const(g, *a).is_some() && as_const(g, *b).is_none() {
+                    (b, a)
+                } else {
+                    (a, b)
+                };
             let kb = as_int_bits(g, *b);
             let ones = ty.mask();
             match (op, kb) {
                 // x + 0, x - 0, x << 0, x >> 0, x | 0, x ^ 0 are x.
-                (BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr | BinOp::Or | BinOp::Xor, Some(0)) => {
-                    return Some(*a)
-                }
+                (
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Shl
+                    | BinOp::LShr
+                    | BinOp::AShr
+                    | BinOp::Or
+                    | BinOp::Xor,
+                    Some(0),
+                ) => return Some(*a),
                 // x * 1 and x / 1 are x; x * 0 and 0 are 0.
                 (BinOp::Mul | BinOp::UDiv | BinOp::SDiv, Some(1)) => return Some(*a),
-                (BinOp::Mul, Some(0)) | (BinOp::And, Some(0)) => return Some(konst(g, Constant::int(*ty, 0))),
-                (BinOp::URem | BinOp::SRem, Some(1)) => return Some(konst(g, Constant::int(*ty, 0))),
+                (BinOp::Mul, Some(0)) | (BinOp::And, Some(0)) => {
+                    return Some(konst(g, Constant::int(*ty, 0)))
+                }
+                (BinOp::URem | BinOp::SRem, Some(1)) => {
+                    return Some(konst(g, Constant::int(*ty, 0)))
+                }
                 (BinOp::And, Some(k)) if k == ones => return Some(*a),
-                (BinOp::Or, Some(k)) if k == ones => return Some(konst(g, Constant::int(*ty, ty.sext(ones)))),
+                (BinOp::Or, Some(k)) if k == ones => {
+                    return Some(konst(g, Constant::int(*ty, ty.sext(ones))))
+                }
                 // mul a 2^k  ↓  shl a k  (LLVM prefers the shift; paper §4).
                 (BinOp::Mul, Some(k)) if k.is_power_of_two() => {
                     let sh = konst(g, Constant::int(*ty, k.trailing_zeros() as i64));
@@ -452,7 +485,10 @@ fn try_constfold(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
         Node::Cast(op, from, to, v) => {
             if matches!(op, CastOp::Zext | CastOp::Sext | CastOp::Trunc) {
                 if let Some(x) = as_int_bits(g, *v) {
-                    return Some(konst(g, Constant::int(*to, to.sext(eval_cast(*op, *from, *to, x)))));
+                    return Some(konst(
+                        g,
+                        Constant::int(*to, to.sext(eval_cast(*op, *from, *to, x))),
+                    ));
                 }
             }
             None
@@ -495,10 +531,7 @@ fn try_loadstore(
                 if callmem_involved && !rules.libc {
                     return None;
                 }
-                if writers
-                    .iter()
-                    .all(|w| no_alias(g, Some(esc), *ptr, ty.bytes(), w.ptr, w.size))
-                {
+                if writers.iter().all(|w| no_alias(g, Some(esc), *ptr, ty.bytes(), w.ptr, w.size)) {
                     return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: init }));
                 }
                 None
@@ -526,7 +559,9 @@ fn try_loadstore(
                 // Canonical order for provably independent stores, so chains
                 // compare equal regardless of emission order and dead stack
                 // stores can bubble up to the ObsMem root.
-                if no_alias(g, Some(esc), *ptr, ty.bytes(), q, ity.bytes()) && g.find(q) < g.find(*ptr) {
+                if no_alias(g, Some(esc), *ptr, ty.bytes(), q, ity.bytes())
+                    && g.find(q) < g.find(*ptr)
+                {
                     let inner = g.add(Node::Store { ty: *ty, val: *val, ptr: *ptr, mem: m2 });
                     return Some(g.add(Node::Store { ty: ity, val: ival, ptr: q, mem: inner }));
                 }
@@ -568,11 +603,15 @@ fn try_loadstore(
 /// removing them from memory chains is the validator's mirror of DSE.
 /// Recomputed every sweep: once a load is rewritten away, the alloca it
 /// read may become dead on the next sweep.
-fn dead_allocas(g: &SharedGraph, live: &[bool], esc: &Escapes) -> std::collections::HashSet<NodeId> {
+fn dead_allocas(
+    g: &SharedGraph,
+    live: &[bool],
+    esc: &Escapes,
+) -> std::collections::HashSet<NodeId> {
     let mut allocas = Vec::new();
     let mut reads: Vec<(NodeId, u64)> = Vec::new();
-    for i in 0..live.len() {
-        if !live[i] {
+    for (i, &is_live) in live.iter().enumerate() {
+        if !is_live {
             continue;
         }
         let id = NodeId(i as u32);
@@ -688,7 +727,13 @@ pub fn varies_at_depth(g: &SharedGraph, v: NodeId, d: u32) -> bool {
 /// the *first* iteration (μs of the loop become their initial values).
 /// Returns `None` when the projection would require cloning inner loops or
 /// exceeds the node budget.
-fn project_first(g: &mut SharedGraph, n: NodeId, d: u32, budget: &mut u32, memo: &mut HashMap<NodeId, Option<NodeId>>) -> Option<NodeId> {
+fn project_first(
+    g: &mut SharedGraph,
+    n: NodeId,
+    d: u32,
+    budget: &mut u32,
+    memo: &mut HashMap<NodeId, Option<NodeId>>,
+) -> Option<NodeId> {
     let n = g.find(n);
     if !varies_at_depth(g, n, d) {
         return Some(n);
@@ -778,8 +823,8 @@ fn eta_or_self(g: &mut SharedGraph, depth: u32, cond: NodeId, v: NodeId) -> Node
 /// loops the other side never split, and the clones then fail to match.
 fn unswitch_evidence(g: &SharedGraph, live: &[bool]) -> std::collections::HashSet<NodeId> {
     let mut ev = std::collections::HashSet::new();
-    for i in 0..live.len() {
-        if !live[i] {
+    for (i, &is_live) in live.iter().enumerate() {
+        if !is_live {
             continue;
         }
         let id = NodeId(i as u32);
@@ -866,7 +911,8 @@ fn try_commuting(
                 return None;
             }
             let child_rows: Vec<Vec<NodeId>> = shapes.iter().map(Node::children).collect();
-            let uniform = (0..arity).any(|j| child_rows.iter().all(|r| g.same(r[j], child_rows[0][j])));
+            let uniform =
+                (0..arity).any(|j| child_rows.iter().all(|r| g.same(r[j], child_rows[0][j])));
             if !uniform {
                 return None;
             }
@@ -874,7 +920,12 @@ fn try_commuting(
             // positional); restrict to pure shapes.
             if !matches!(
                 first,
-                Node::Bin(..) | Node::FBin(..) | Node::Icmp(..) | Node::Fcmp(..) | Node::Cast(..) | Node::Gep(..)
+                Node::Bin(..)
+                    | Node::FBin(..)
+                    | Node::Icmp(..)
+                    | Node::Fcmp(..)
+                    | Node::Cast(..)
+                    | Node::Gep(..)
             ) {
                 return None;
             }
@@ -952,7 +1003,10 @@ fn find_invariant_gate(
                     let c = g.find(*c);
                     // A useful unswitch gate: invariant, non-constant, and
                     // actually used inside the loop (we only look inside).
-                    if as_const(g, c).is_none() && evidence.contains(&c) && !varies_at_depth(g, c, depth) {
+                    if as_const(g, c).is_none()
+                        && evidence.contains(&c)
+                        && !varies_at_depth(g, c, depth)
+                    {
                         best = Some(best.map_or(c, |b| if c < b { c } else { b }));
                     }
                     stack.push(c);
@@ -967,9 +1021,14 @@ fn find_invariant_gate(
 
 /// Clone the cone of `roots` with `gate` replaced by `replacement`,
 /// preserving μ cycles (bounded; `None` when the cone is too large).
-fn specialize(g: &mut SharedGraph, roots: &[NodeId], gate: NodeId, replacement: NodeId, depth: u32) -> Option<Vec<NodeId>> {
+fn specialize(
+    g: &mut SharedGraph,
+    roots: &[NodeId],
+    gate: NodeId,
+    replacement: NodeId,
+    depth: u32,
+) -> Option<Vec<NodeId>> {
     let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
-    let mut mu_fixups: Vec<(NodeId, NodeId)> = Vec::new();
     let mut budget = 384u32;
     fn go(
         g: &mut SharedGraph,
@@ -978,7 +1037,6 @@ fn specialize(g: &mut SharedGraph, roots: &[NodeId], gate: NodeId, replacement: 
         replacement: NodeId,
         depth: u32,
         memo: &mut HashMap<NodeId, NodeId>,
-        mu_fixups: &mut Vec<(NodeId, NodeId)>,
         budget: &mut u32,
     ) -> Option<NodeId> {
         let n = g.find(n);
@@ -1002,8 +1060,8 @@ fn specialize(g: &mut SharedGraph, roots: &[NodeId], gate: NodeId, replacement: 
             Node::Mu { depth: d, init, next } => {
                 let new_mu = g.new_mu(d, init, None);
                 memo.insert(n, new_mu);
-                let ni = go(g, init, gate, replacement, depth, memo, mu_fixups, budget)?;
-                let nn = go(g, next, gate, replacement, depth, memo, mu_fixups, budget)?;
+                let ni = go(g, init, gate, replacement, depth, memo, budget)?;
+                let nn = go(g, next, gate, replacement, depth, memo, budget)?;
                 g.patch_mu(new_mu, nn);
                 g.set_mu_init(new_mu, ni);
                 Some(new_mu)
@@ -1013,7 +1071,7 @@ fn specialize(g: &mut SharedGraph, roots: &[NodeId], gate: NodeId, replacement: 
                 let mut cloned: HashMap<NodeId, NodeId> = HashMap::new();
                 other.for_each_child(|c| {
                     if ok && !cloned.contains_key(&c) {
-                        match go(g, c, gate, replacement, depth, memo, mu_fixups, budget) {
+                        match go(g, c, gate, replacement, depth, memo, budget) {
                             Some(x) => {
                                 cloned.insert(c, x);
                             }
@@ -1033,7 +1091,7 @@ fn specialize(g: &mut SharedGraph, roots: &[NodeId], gate: NodeId, replacement: 
     }
     let mut out = Vec::with_capacity(roots.len());
     for &r in roots {
-        out.push(go(g, r, gate, replacement, depth, &mut memo, &mut mu_fixups, &mut budget)?);
+        out.push(go(g, r, gate, replacement, depth, &mut memo, &mut budget)?);
     }
     Some(out)
 }
@@ -1086,8 +1144,16 @@ fn try_libc(g: &mut SharedGraph, n: &Node, esc: &Escapes) -> Option<NodeId> {
             let read_ptrs: Vec<NodeId> = reads.iter().map(|&i| args[i]).collect();
             match g.resolve(*mem) {
                 Node::Store { ty, ptr, mem: m2, .. } => {
-                    if read_ptrs.iter().all(|&p| no_alias(g, Some(esc), p, u64::MAX, ptr, ty.bytes())) {
-                        return Some(g.add(Node::CallVal { callee: *callee, ret: *ret, args: args.clone(), mem: m2 }));
+                    if read_ptrs
+                        .iter()
+                        .all(|&p| no_alias(g, Some(esc), p, u64::MAX, ptr, ty.bytes()))
+                    {
+                        return Some(g.add(Node::CallVal {
+                            callee: *callee,
+                            ret: *ret,
+                            args: args.clone(),
+                            mem: m2,
+                        }));
                     }
                     None
                 }
@@ -1095,17 +1161,32 @@ fn try_libc(g: &mut SharedGraph, n: &Node, esc: &Escapes) -> Option<NodeId> {
                     let wname = g.callee_name(wc).to_owned();
                     let (di, li) = write_dest(&wname)?;
                     let wsize = as_int_bits(g, wargs[li]).unwrap_or(u64::MAX);
-                    if read_ptrs.iter().all(|&p| no_alias(g, Some(esc), p, u64::MAX, wargs[di], wsize)) {
-                        return Some(g.add(Node::CallVal { callee: *callee, ret: *ret, args: args.clone(), mem: m2 }));
+                    if read_ptrs
+                        .iter()
+                        .all(|&p| no_alias(g, Some(esc), p, u64::MAX, wargs[di], wsize))
+                    {
+                        return Some(g.add(Node::CallVal {
+                            callee: *callee,
+                            ret: *ret,
+                            args: args.clone(),
+                            mem: m2,
+                        }));
                     }
                     None
                 }
                 Node::Mu { init, .. } => {
                     let writers = collect_loop_writers(g, g.find(*mem))?;
                     if writers.iter().all(|w| {
-                        read_ptrs.iter().all(|&p| no_alias(g, Some(esc), p, u64::MAX, w.ptr, w.size))
+                        read_ptrs
+                            .iter()
+                            .all(|&p| no_alias(g, Some(esc), p, u64::MAX, w.ptr, w.size))
                     }) {
-                        return Some(g.add(Node::CallVal { callee: *callee, ret: *ret, args: args.clone(), mem: init }));
+                        return Some(g.add(Node::CallVal {
+                            callee: *callee,
+                            ret: *ret,
+                            args: args.clone(),
+                            mem: init,
+                        }));
                     }
                     None
                 }
@@ -1163,13 +1244,17 @@ fn try_libc(g: &mut SharedGraph, n: &Node, esc: &Escapes) -> Option<NodeId> {
 fn try_float(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
     match n {
         Node::FBin(op, a, b) => {
-            let (Some(Constant::Float(x)), Some(Constant::Float(y))) = (as_const(g, *a), as_const(g, *b)) else {
+            let (Some(Constant::Float(x)), Some(Constant::Float(y))) =
+                (as_const(g, *a), as_const(g, *b))
+            else {
                 return None;
             };
             Some(konst(g, Constant::Float(eval_fbinop(*op, x, y))))
         }
         Node::Fcmp(pred, a, b) => {
-            let (Some(Constant::Float(x)), Some(Constant::Float(y))) = (as_const(g, *a), as_const(g, *b)) else {
+            let (Some(Constant::Float(x)), Some(Constant::Float(y))) =
+                (as_const(g, *a), as_const(g, *b))
+            else {
                 return None;
             };
             Some(bool_const(g, eval_fcmp(*pred, x, y)))

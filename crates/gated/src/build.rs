@@ -141,7 +141,8 @@ pub fn build_prepared(p: &Prepared, name: &str) -> Result<GatedFunction, GateErr
                 Term::Ret { val: Some(v), .. } => Some(b.use_val(*v, rb)),
                 _ => None,
             };
-            let mem = b.mem_out[rb.index()].ok_or_else(|| GateError::Malformed("return block not translated".into()))?;
+            let mem = b.mem_out[rb.index()]
+                .ok_or_else(|| GateError::Malformed("return block not translated".into()))?;
             (ret, mem)
         }
         // Diverging function: nothing observable.
@@ -226,9 +227,7 @@ impl<'a> Builder<'a> {
     /// η-wrap `v` for each loop left when flowing from `from` to `to`.
     fn eta_wrap(&mut self, mut v: NodeId, from: BlockId, to: BlockId) -> NodeId {
         for lid in self.exited_loops(from, to) {
-            let x = self.loop_xlat[lid.index()]
-                .as_ref()
-                .expect("exited loop already translated");
+            let x = self.loop_xlat[lid.index()].as_ref().expect("exited loop already translated");
             let (ca, depth) = (x.ca, self.p.lf.get(lid).depth);
             let mus = x.mus.clone();
             v = self.g.eta(depth, ca, v, &mus);
@@ -332,7 +331,8 @@ impl<'a> Builder<'a> {
                 members.push(Member::Loop(LoopId(i as u32)));
             }
         }
-        let midx: HashMap<Member, usize> = members.iter().copied().enumerate().map(|(i, m)| (m, i)).collect();
+        let midx: HashMap<Member, usize> =
+            members.iter().copied().enumerate().map(|(i, m)| (m, i)).collect();
         let member_of_block = |b: BlockId| -> Option<Member> {
             match lf.loop_of(b) {
                 x if x == lvl => Some(Member::Block(b)),
@@ -429,9 +429,9 @@ impl<'a> Builder<'a> {
                 .ok_or_else(|| GateError::Malformed("loop without preheader".into()))?;
             let phis = self.p.f.blocks[entry.index()].phis.clone();
             for phi in &phis {
-                let init_op = phi
-                    .incoming_from(preheader)
-                    .ok_or_else(|| GateError::Malformed("header phi lacks preheader incoming".into()))?;
+                let init_op = phi.incoming_from(preheader).ok_or_else(|| {
+                    GateError::Malformed("header phi lacks preheader incoming".into())
+                })?;
                 let init = self.use_val(init_op, preheader);
                 let mu = self.g.new_mu(depth, init);
                 self.reg_val[phi.dst.index()] = Some(mu);
@@ -439,7 +439,8 @@ impl<'a> Builder<'a> {
                 header_mu_regs.push((mu, phi.dst));
             }
             // Record μs now so η-wrapping of inner values can see them.
-            self.loop_xlat[l.index()] = Some(LoopXlat { ca: self.g.false_(), mus: level_mus.clone() });
+            self.loop_xlat[l.index()] =
+                Some(LoopXlat { ca: self.g.false_(), mus: level_mus.clone() });
         } else {
             header_mem = entry_mem;
             header_alloc = entry_alloc;
@@ -481,7 +482,8 @@ impl<'a> Builder<'a> {
                         for phi in &phis {
                             let mut branches = Vec::new();
                             for &(pb, op) in &phi.incomings {
-                                let Some(e) = incoming[mi].iter().find(|e| e.pred_block == pb) else {
+                                let Some(e) = incoming[mi].iter().find(|e| e.pred_block == pb)
+                                else {
                                     continue; // unreachable predecessor
                                 };
                                 let cond = e.cond;
@@ -503,7 +505,8 @@ impl<'a> Builder<'a> {
                             continue;
                         }
                         let cond = self.g.and(p_mi, econd);
-                        let edge = Edge { pred_block: b, target, cond, mem: mem_out, alloc: alloc_out };
+                        let edge =
+                            Edge { pred_block: b, target, cond, mem: mem_out, alloc: alloc_out };
                         match member_of_block(target) {
                             Some(t) if t != members[mi] => incoming[midx[&t]].push(edge),
                             Some(_) => return Err(GateError::Malformed("self edge".into())),
@@ -515,10 +518,13 @@ impl<'a> Builder<'a> {
                     // Exactly one incoming edge (from the preheader).
                     let edges = incoming[mi].clone();
                     let [e] = edges.as_slice() else {
-                        return Err(GateError::Malformed("loop header with multiple outside edges".into()));
+                        return Err(GateError::Malformed(
+                            "loop header with multiple outside edges".into(),
+                        ));
                     };
                     let child_header = lf.get(child).header;
-                    let child_exits = self.process_level(Some(child), child_header, e.mem, e.alloc)?;
+                    let child_exits =
+                        self.process_level(Some(child), child_header, e.mem, e.alloc)?;
                     let child_depth = lf.get(child).depth;
                     let (ca, mus) = {
                         let x = self.loop_xlat[child.index()].as_ref().expect("child translated");
@@ -539,7 +545,11 @@ impl<'a> Builder<'a> {
                         };
                         match member_of_block(ce.target) {
                             Some(t) if t != members[mi] => incoming[midx[&t]].push(edge),
-                            Some(_) => return Err(GateError::Malformed("loop exit re-enters the loop".into())),
+                            Some(_) => {
+                                return Err(GateError::Malformed(
+                                    "loop exit re-enters the loop".into(),
+                                ))
+                            }
                             None => leaving.push(edge),
                         }
                     }
@@ -549,8 +559,8 @@ impl<'a> Builder<'a> {
 
         // Latch: patch the μs.
         if let Some(l) = lvl {
-            let (latch_mem, latch_alloc, latch) =
-                latch_state.ok_or_else(|| GateError::Malformed("loop without latch edge".into()))?;
+            let (latch_mem, latch_alloc, latch) = latch_state
+                .ok_or_else(|| GateError::Malformed("loop without latch edge".into()))?;
             let mut mu_i = 0;
             if self.loop_writes_mem[l.index()] {
                 self.g.patch_mu(level_mus[mu_i], latch_mem);
@@ -562,9 +572,9 @@ impl<'a> Builder<'a> {
             let phis = self.p.f.blocks[entry.index()].phis.clone();
             for (mu, dst) in &header_mu_regs {
                 let phi = phis.iter().find(|p| p.dst == *dst).expect("phi for mu");
-                let next_op = phi
-                    .incoming_from(latch)
-                    .ok_or_else(|| GateError::Malformed("header phi lacks latch incoming".into()))?;
+                let next_op = phi.incoming_from(latch).ok_or_else(|| {
+                    GateError::Malformed("header phi lacks latch incoming".into())
+                })?;
                 let next = self.use_val(next_op, latch);
                 self.g.patch_mu(*mu, next);
             }
@@ -589,7 +599,12 @@ impl<'a> Builder<'a> {
     }
 
     /// Translate the straight-line body of `b`, threading the two states.
-    fn translate_block_body(&mut self, b: BlockId, mem_in: NodeId, alloc_in: NodeId) -> (NodeId, NodeId) {
+    fn translate_block_body(
+        &mut self,
+        b: BlockId,
+        mem_in: NodeId,
+        alloc_in: NodeId,
+    ) -> (NodeId, NodeId) {
         let insts = self.p.f.blocks[b.index()].insts.clone();
         let mut mem = mem_in;
         let mut alloc = alloc_in;
@@ -650,12 +665,20 @@ impl<'a> Builder<'a> {
                     self.reg_val[dst.index()] = Some(n);
                 }
                 Inst::Call { dst, ret, callee, args } => {
-                    let avs: Box<[NodeId]> = args.iter().map(|(_, a)| self.use_val(*a, b)).collect();
+                    let avs: Box<[NodeId]> =
+                        args.iter().map(|(_, a)| self.use_val(*a, b)).collect();
                     let cid = self.g.callee(callee);
                     let effects = known::effects_of(callee);
                     let val = match effects {
-                        MemEffects::None => self.g.add(Node::CallPure { callee: cid, ret: *ret, args: avs.clone() }),
-                        _ => self.g.add(Node::CallVal { callee: cid, ret: *ret, args: avs.clone(), mem }),
+                        MemEffects::None => {
+                            self.g.add(Node::CallPure { callee: cid, ret: *ret, args: avs.clone() })
+                        }
+                        _ => self.g.add(Node::CallVal {
+                            callee: cid,
+                            ret: *ret,
+                            args: avs.clone(),
+                            mem,
+                        }),
                     };
                     if effects.may_write() {
                         mem = self.g.add(Node::CallMem { callee: cid, args: avs, mem });

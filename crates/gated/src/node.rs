@@ -184,8 +184,16 @@ impl Node {
     /// Visit every child id.
     pub fn for_each_child(&self, mut f: impl FnMut(NodeId)) {
         match self {
-            Node::Param(_) | Node::Const(_) | Node::GlobalAddr(_) | Node::InitMem | Node::InitAlloc => {}
-            Node::Bin(_, _, a, b) | Node::Icmp(_, _, a, b) | Node::FBin(_, a, b) | Node::Fcmp(_, a, b) | Node::Gep(a, b) => {
+            Node::Param(_)
+            | Node::Const(_)
+            | Node::GlobalAddr(_)
+            | Node::InitMem
+            | Node::InitAlloc => {}
+            Node::Bin(_, _, a, b)
+            | Node::Icmp(_, _, a, b)
+            | Node::FBin(_, a, b)
+            | Node::Fcmp(_, a, b)
+            | Node::Gep(a, b) => {
                 f(*a);
                 f(*b);
             }
@@ -225,8 +233,16 @@ impl Node {
     /// Rewrite every child id in place.
     pub fn map_children(&mut self, mut f: impl FnMut(NodeId) -> NodeId) {
         match self {
-            Node::Param(_) | Node::Const(_) | Node::GlobalAddr(_) | Node::InitMem | Node::InitAlloc => {}
-            Node::Bin(_, _, a, b) | Node::Icmp(_, _, a, b) | Node::FBin(_, a, b) | Node::Fcmp(_, a, b) | Node::Gep(a, b) => {
+            Node::Param(_)
+            | Node::Const(_)
+            | Node::GlobalAddr(_)
+            | Node::InitMem
+            | Node::InitAlloc => {}
+            Node::Bin(_, _, a, b)
+            | Node::Icmp(_, _, a, b)
+            | Node::FBin(_, a, b)
+            | Node::Fcmp(_, a, b)
+            | Node::Gep(a, b) => {
                 *a = f(*a);
                 *b = f(*b);
             }

@@ -135,12 +135,19 @@ pub fn prepare(orig: &Function) -> Result<Prepared, GateError> {
             return Err(GateError::Malformed(format!("loop at {} has no preheader", l.header)));
         }
         if l.latches.len() != 1 {
-            return Err(GateError::Malformed(format!("loop at {} has {} latches", l.header, l.latches.len())));
+            return Err(GateError::Malformed(format!(
+                "loop at {} has {} latches",
+                l.header,
+                l.latches.len()
+            )));
         }
         for &(_, t) in &l.exits {
             let outside = cfg.preds[t.index()].iter().any(|p| !lf.contains(li, *p));
             if outside {
-                return Err(GateError::Malformed(format!("exit {t} of loop at {} is not dedicated", l.header)));
+                return Err(GateError::Malformed(format!(
+                    "exit {t} of loop at {} is not dedicated",
+                    l.header
+                )));
             }
         }
     }

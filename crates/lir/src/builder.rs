@@ -135,7 +135,12 @@ impl FunctionBuilder {
     }
 
     /// Call with a result.
-    pub fn call(&mut self, ret: Ty, callee: impl Into<String>, args: Vec<(Ty, Operand)>) -> Operand {
+    pub fn call(
+        &mut self,
+        ret: Ty,
+        callee: impl Into<String>,
+        args: Vec<(Ty, Operand)>,
+    ) -> Operand {
         let dst = self.f.new_reg();
         self.push(Inst::Call { dst: Some(dst), ret, callee: callee.into(), args })
     }

@@ -28,7 +28,13 @@ impl DomTree {
         let n = f.blocks.len();
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         if cfg.rpo.is_empty() {
-            return DomTree { idom, children: vec![Vec::new(); n], tin: vec![0; n], tout: vec![0; n], root: None };
+            return DomTree {
+                idom,
+                children: vec![Vec::new(); n],
+                tin: vec![0; n],
+                tout: vec![0; n],
+                root: None,
+            };
         }
         let entry = cfg.rpo[0];
         idom[entry.index()] = Some(entry);
@@ -149,7 +155,12 @@ impl DomTree {
     }
 }
 
-fn intersect(idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
     while a != b {
         while rpo_index[a.index()] > rpo_index[b.index()] {
             a = idom[a.index()].expect("processed block has idom");

@@ -353,7 +353,10 @@ impl Inst {
     /// Visit every operand.
     pub fn visit_operands(&self, mut f: impl FnMut(Operand)) {
         match self {
-            Inst::Bin { a, b, .. } | Inst::FBin { a, b, .. } | Inst::Icmp { a, b, .. } | Inst::Fcmp { a, b, .. } => {
+            Inst::Bin { a, b, .. }
+            | Inst::FBin { a, b, .. }
+            | Inst::Icmp { a, b, .. }
+            | Inst::Fcmp { a, b, .. } => {
                 f(*a);
                 f(*b);
             }
@@ -384,7 +387,10 @@ impl Inst {
     /// Mutate every operand in place.
     pub fn map_operands(&mut self, mut f: impl FnMut(&mut Operand)) {
         match self {
-            Inst::Bin { a, b, .. } | Inst::FBin { a, b, .. } | Inst::Icmp { a, b, .. } | Inst::Fcmp { a, b, .. } => {
+            Inst::Bin { a, b, .. }
+            | Inst::FBin { a, b, .. }
+            | Inst::Icmp { a, b, .. }
+            | Inst::Fcmp { a, b, .. } => {
                 f(a);
                 f(b);
             }
@@ -655,7 +661,8 @@ pub fn eval_fcmp(pred: FcmpPred, a: u64, b: u64) -> bool {
     let fb = f64::from_bits(b);
     match pred {
         FcmpPred::Oeq => fa == fb,
-        FcmpPred::One => fa < fb || fa > fb,
+        // Ordered not-equal: false when either operand is NaN (unlike Une).
+        FcmpPred::One => !fa.is_nan() && !fb.is_nan() && fa != fb,
         FcmpPred::Olt => fa < fb,
         FcmpPred::Ole => fa <= fb,
         FcmpPred::Ogt => fa > fb,
@@ -678,11 +685,7 @@ pub fn eval_cast(op: CastOp, from: Ty, to: Ty, v: u64) -> u64 {
             } else {
                 (-((1i64 << (bits - 1)) as f64), ((1i64 << (bits - 1)) - 1) as f64)
             };
-            let clamped = if f.is_nan() {
-                0.0
-            } else {
-                f.clamp(min, max)
-            };
+            let clamped = if f.is_nan() { 0.0 } else { f.clamp(min, max) };
             to.wrap(clamped as i64 as u64)
         }
         CastOp::SiToFp => (from.sext(v) as f64).to_bits(),
@@ -691,9 +694,16 @@ pub fn eval_cast(op: CastOp, from: Ty, to: Ty, v: u64) -> u64 {
 
 /// Fold a binary operation over [`Constant`] operands, if both are integer
 /// constants of the right type. `undef` and mismatched types fold to `None`.
-pub fn fold_binop(op: BinOp, ty: Ty, a: Constant, b: Constant) -> Option<Result<Constant, EvalError>> {
+pub fn fold_binop(
+    op: BinOp,
+    ty: Ty,
+    a: Constant,
+    b: Constant,
+) -> Option<Result<Constant, EvalError>> {
     match (a, b) {
-        (Constant::Int { bits: ba, ty: ta }, Constant::Int { bits: bb, ty: tb }) if ta == ty && tb == ty => {
+        (Constant::Int { bits: ba, ty: ta }, Constant::Int { bits: bb, ty: tb })
+            if ta == ty && tb == ty =>
+        {
             Some(eval_binop(op, ty, ba, bb).map(|bits| Constant::Int { bits, ty }))
         }
         _ => None,
@@ -703,7 +713,9 @@ pub fn fold_binop(op: BinOp, ty: Ty, a: Constant, b: Constant) -> Option<Result<
 /// Fold an integer comparison over [`Constant`] operands.
 pub fn fold_icmp(pred: IcmpPred, ty: Ty, a: Constant, b: Constant) -> Option<Constant> {
     match (a, b) {
-        (Constant::Int { bits: ba, ty: ta }, Constant::Int { bits: bb, ty: tb }) if ta == ty && tb == ty => {
+        (Constant::Int { bits: ba, ty: ta }, Constant::Int { bits: bb, ty: tb })
+            if ta == ty && tb == ty =>
+        {
             Some(Constant::bool(eval_icmp(pred, ty, ba, bb)))
         }
         (Constant::Null, Constant::Null) if ty == Ty::Ptr => {
@@ -735,7 +747,9 @@ pub fn fold_cast(op: CastOp, from: Ty, to: Ty, v: Constant) -> Option<Constant> 
 /// Fold a float binary operation over [`Constant`] operands.
 pub fn fold_fbinop(op: FBinOp, a: Constant, b: Constant) -> Option<Constant> {
     match (a, b) {
-        (Constant::Float(ba), Constant::Float(bb)) => Some(Constant::Float(eval_fbinop(op, ba, bb))),
+        (Constant::Float(ba), Constant::Float(bb)) => {
+            Some(Constant::Float(eval_fbinop(op, ba, bb)))
+        }
         _ => None,
     }
 }
@@ -767,7 +781,7 @@ mod tests {
         // i8 MIN / -1 traps.
         assert_eq!(eval_binop(BinOp::SDiv, Ty::I8, 0x80, 0xff), Err(EvalError::DivByZero));
         assert_eq!(eval_binop(BinOp::SRem, Ty::I8, 0xf9, 2).unwrap(), Ty::I8.wrap(-1i64 as u64)); // -7%2 = -1
-        // i64 MIN / -1 traps too.
+                                                                                                  // i64 MIN / -1 traps too.
         assert_eq!(
             eval_binop(BinOp::SDiv, Ty::I64, i64::MIN as u64, u64::MAX),
             Err(EvalError::DivByZero)
@@ -873,11 +887,24 @@ mod tests {
     fn effect_classification() {
         let ld = Inst::Load { dst: Reg(0), ty: Ty::I64, ptr: Operand::Reg(Reg(1)) };
         assert!(ld.may_read_mem() && !ld.may_write_mem() && ld.may_trap());
-        let st = Inst::Store { ty: Ty::I64, val: Operand::int(Ty::I64, 0), ptr: Operand::Reg(Reg(1)) };
+        let st =
+            Inst::Store { ty: Ty::I64, val: Operand::int(Ty::I64, 0), ptr: Operand::Reg(Reg(1)) };
         assert!(!st.may_read_mem() && st.may_write_mem());
-        let add = Inst::Bin { dst: Reg(0), op: BinOp::Add, ty: Ty::I64, a: Operand::Reg(Reg(1)), b: Operand::Reg(Reg(2)) };
+        let add = Inst::Bin {
+            dst: Reg(0),
+            op: BinOp::Add,
+            ty: Ty::I64,
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Reg(Reg(2)),
+        };
         assert!(add.is_speculatable() && add.is_removable_if_unused());
-        let div = Inst::Bin { dst: Reg(0), op: BinOp::SDiv, ty: Ty::I64, a: Operand::Reg(Reg(1)), b: Operand::Reg(Reg(2)) };
+        let div = Inst::Bin {
+            dst: Reg(0),
+            op: BinOp::SDiv,
+            ty: Ty::I64,
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Reg(Reg(2)),
+        };
         assert!(!div.is_speculatable());
     }
 }

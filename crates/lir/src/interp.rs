@@ -191,9 +191,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 /// Returns a [`Trap`] for abnormal termination; see the module docs for the
 /// trap taxonomy.
 pub fn run(m: &Module, fname: &str, args: &[u64], cfg: &ExecConfig) -> Result<Outcome, Trap> {
-    let f = m
-        .function(fname)
-        .ok_or_else(|| Trap::UnknownFunction(fname.to_owned()))?;
+    let f = m.function(fname).ok_or_else(|| Trap::UnknownFunction(fname.to_owned()))?;
     let mut machine = Machine::new(m, cfg.fuel);
     let ret = call_function(&mut machine, f, args, cfg.max_depth)?;
     let globals = m
@@ -202,9 +200,7 @@ pub fn run(m: &Module, fname: &str, args: &[u64], cfg: &ExecConfig) -> Result<Ou
         .enumerate()
         .map(|(i, g)| {
             let base = machine.global_addrs[i];
-            (0..g.size())
-                .map(|off| *machine.mem.get(&(base + off)).unwrap_or(&0))
-                .collect()
+            (0..g.size()).map(|off| *machine.mem.get(&(base + off)).unwrap_or(&0)).collect()
         })
         .collect();
     Ok(Outcome { ret, globals, trace: machine.trace })
@@ -546,7 +542,8 @@ entry:
 
     #[test]
     fn traps() {
-        let div = "define i64 @d(i64 %a, i64 %b) {\nentry:\n  %q = sdiv i64 %a, %b\n  ret i64 %q\n}\n";
+        let div =
+            "define i64 @d(i64 %a, i64 %b) {\nentry:\n  %q = sdiv i64 %a, %b\n  ret i64 %q\n}\n";
         assert_eq!(run_src(div, "d", &[1, 0]), Err(Trap::DivByZero));
         assert_eq!(run_src(div, "d", &[10, 2]).unwrap().ret, Some(5));
 

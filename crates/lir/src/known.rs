@@ -81,7 +81,7 @@ pub fn effects_of(name: &str) -> MemEffects {
 
 /// Whether calling `name` may trap. Unknown functions may.
 pub fn may_trap(name: &str) -> bool {
-    lookup(name).map_or(true, |k| k.may_trap)
+    lookup(name).is_none_or(|k| k.may_trap)
 }
 
 /// True if `name` is a readonly function whose reads are confined to memory

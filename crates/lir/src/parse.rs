@@ -11,6 +11,9 @@ use crate::value::{Constant, Operand, Reg};
 use std::collections::HashMap;
 use std::fmt;
 
+/// A parsed call: callee symbol, return type, and typed arguments.
+type CallSig = (String, Ty, Vec<(Ty, Operand)>);
+
 /// A parse failure, with 1-based line information.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -77,7 +80,9 @@ impl Parser {
                 '%' | '@' => {
                     let start = i + 1;
                     let mut j = start;
-                    while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.') {
+                    while j < bytes.len()
+                        && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.')
+                    {
                         j += 1;
                     }
                     if j == start {
@@ -113,9 +118,10 @@ impl Parser {
                             .map_err(|_| ParseError { line, msg: format!("bad float `{text}`") })?;
                         toks.push((Tok::Float(v.to_bits()), line));
                     } else {
-                        let v: i128 = text
-                            .parse()
-                            .map_err(|_| ParseError { line, msg: format!("bad integer `{text}`") })?;
+                        let v: i128 = text.parse().map_err(|_| ParseError {
+                            line,
+                            msg: format!("bad integer `{text}`"),
+                        })?;
                         toks.push((Tok::Int(v), line));
                     }
                     i = j;
@@ -123,14 +129,18 @@ impl Parser {
                 c if c.is_alphabetic() || c == '_' => {
                     let start = i;
                     let mut j = i;
-                    while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.') {
+                    while j < bytes.len()
+                        && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.')
+                    {
                         j += 1;
                     }
                     let word: String = bytes[start..j].iter().collect();
                     // `f0x<hex>` float literal
                     if let Some(hex) = word.strip_prefix("f0x") {
-                        let v = u64::from_str_radix(hex, 16)
-                            .map_err(|_| ParseError { line, msg: format!("bad float literal `{word}`") })?;
+                        let v = u64::from_str_radix(hex, 16).map_err(|_| ParseError {
+                            line,
+                            msg: format!("bad float literal `{word}`"),
+                        })?;
                         toks.push((Tok::Float(v), line));
                     } else {
                         toks.push((Tok::Ident(word), line));
@@ -173,7 +183,10 @@ impl Parser {
     fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
         match self.bump() {
             Tok::Punct(p) if p == c => Ok(()),
-            t => Err(ParseError { line: self.toks[self.pos - 1].1, msg: format!("expected `{c}`, found {t:?}") }),
+            t => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                msg: format!("expected `{c}`, found {t:?}"),
+            }),
         }
     }
 
@@ -189,35 +202,50 @@ impl Parser {
     fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.bump() {
             Tok::Ident(w) if w == kw => Ok(()),
-            t => Err(ParseError { line: self.toks[self.pos - 1].1, msg: format!("expected `{kw}`, found {t:?}") }),
+            t => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                msg: format!("expected `{kw}`, found {t:?}"),
+            }),
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             Tok::Ident(w) => Ok(w),
-            t => Err(ParseError { line: self.toks[self.pos - 1].1, msg: format!("expected identifier, found {t:?}") }),
+            t => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                msg: format!("expected identifier, found {t:?}"),
+            }),
         }
     }
 
     fn global_sym(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             Tok::GlobalSym(w) => Ok(w),
-            t => Err(ParseError { line: self.toks[self.pos - 1].1, msg: format!("expected `@symbol`, found {t:?}") }),
+            t => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                msg: format!("expected `@symbol`, found {t:?}"),
+            }),
         }
     }
 
     fn local_sym(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             Tok::Local(w) => Ok(w),
-            t => Err(ParseError { line: self.toks[self.pos - 1].1, msg: format!("expected `%symbol`, found {t:?}") }),
+            t => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                msg: format!("expected `%symbol`, found {t:?}"),
+            }),
         }
     }
 
     fn int(&mut self) -> Result<i128, ParseError> {
         match self.bump() {
             Tok::Int(v) => Ok(v),
-            t => Err(ParseError { line: self.toks[self.pos - 1].1, msg: format!("expected integer, found {t:?}") }),
+            t => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                msg: format!("expected integer, found {t:?}"),
+            }),
         }
     }
 
@@ -261,7 +289,10 @@ impl Parser {
                     let is_const = match kind.as_str() {
                         "global" => false,
                         "constant" => true,
-                        k => return self.err(format!("expected `global` or `constant`, found `{k}`")),
+                        k => {
+                            return self
+                                .err(format!("expected `global` or `constant`, found `{k}`"))
+                        }
                     };
                     self.expect_punct('[')?;
                     let n = self.int()? as usize;
@@ -280,7 +311,11 @@ impl Parser {
                         }
                     }
                     if words.len() != n {
-                        return self.err(format!("global `{name}`: {} initializers for [{} x i64]", words.len(), n));
+                        return self.err(format!(
+                            "global `{name}`: {} initializers for [{} x i64]",
+                            words.len(),
+                            n
+                        ));
                     }
                     m.globals.push(Global { name, words, is_const });
                 }
@@ -320,14 +355,12 @@ impl Parser {
                 match self.bump() {
                     Tok::Punct('{') => depth += 1,
                     Tok::Punct('}') => depth -= 1,
-                    Tok::Ident(w) => {
-                        if *self.peek() == Tok::Punct(':') {
-                            if blocks.contains_key(&w) {
-                                return self.err(format!("duplicate block label `{w}`"));
-                            }
-                            let id = f.add_block(w.clone());
-                            blocks.insert(w, id);
+                    Tok::Ident(w) if *self.peek() == Tok::Punct(':') => {
+                        if blocks.contains_key(&w) {
+                            return self.err(format!("duplicate block label `{w}`"));
                         }
+                        let id = f.add_block(w.clone());
+                        blocks.insert(w, id);
                     }
                     Tok::Eof => return self.err("unterminated function body"),
                     _ => {}
@@ -390,7 +423,8 @@ impl Parser {
             Tok::Ident(w) if w == "undef" => Ok(Operand::Const(Constant::Undef(ty))),
             Tok::GlobalSym(name) => match m.global_by_name(&name) {
                 Some((gid, _)) => Ok(Operand::Global(gid)),
-                None => self.err(format!("unknown global `@{name}` (globals must be declared before use)")),
+                None => self
+                    .err(format!("unknown global `@{name}` (globals must be declared before use)")),
             },
             t => self.err(format!("expected operand, found {t:?}")),
         }
@@ -399,10 +433,10 @@ impl Parser {
     fn label(&mut self, blocks: &HashMap<String, BlockId>) -> Result<BlockId, ParseError> {
         self.expect_ident("label")?;
         let name = self.local_sym()?;
-        blocks
-            .get(&name)
-            .copied()
-            .ok_or_else(|| ParseError { line: self.toks[self.pos - 1].1, msg: format!("unknown block `%{name}`") })
+        blocks.get(&name).copied().ok_or_else(|| ParseError {
+            line: self.toks[self.pos - 1].1,
+            msg: format!("unknown block `%{name}`"),
+        })
     }
 
     #[allow(clippy::too_many_lines)]
@@ -499,7 +533,7 @@ impl Parser {
         m: &Module,
         f: &mut Function,
         regs: &mut HashMap<String, Reg>,
-    ) -> Result<(String, Ty, Vec<(Ty, Operand)>), ParseError> {
+    ) -> Result<CallSig, ParseError> {
         let ret = self.ty()?;
         let callee = self.global_sym()?;
         self.expect_punct('(')?;
@@ -518,7 +552,7 @@ impl Parser {
         Ok((callee, ret, args))
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn rhs(
         &mut self,
         m: &Module,
@@ -547,11 +581,9 @@ impl Parser {
         match word {
             "icmp" => {
                 let pw = self.ident()?;
-                let pred = IcmpPred::ALL
-                    .iter()
-                    .find(|p| p.mnemonic() == pw)
-                    .copied()
-                    .ok_or_else(|| ParseError { line: self.line(), msg: format!("bad icmp predicate `{pw}`") })?;
+                let pred = IcmpPred::ALL.iter().find(|p| p.mnemonic() == pw).copied().ok_or_else(
+                    || ParseError { line: self.line(), msg: format!("bad icmp predicate `{pw}`") },
+                )?;
                 let ty = self.ty()?;
                 let a = self.operand(m, f, regs, ty)?;
                 self.expect_punct(',')?;
@@ -560,11 +592,9 @@ impl Parser {
             }
             "fcmp" => {
                 let pw = self.ident()?;
-                let pred = FcmpPred::ALL
-                    .iter()
-                    .find(|p| p.mnemonic() == pw)
-                    .copied()
-                    .ok_or_else(|| ParseError { line: self.line(), msg: format!("bad fcmp predicate `{pw}`") })?;
+                let pred = FcmpPred::ALL.iter().find(|p| p.mnemonic() == pw).copied().ok_or_else(
+                    || ParseError { line: self.line(), msg: format!("bad fcmp predicate `{pw}`") },
+                )?;
                 self.expect_ident("f64")?;
                 let a = self.operand(m, f, regs, Ty::F64)?;
                 self.expect_punct(',')?;
@@ -821,7 +851,8 @@ entry:
 
     #[test]
     fn comments_and_whitespace_ignored() {
-        let src = "; leading comment\ndefine void @w() { ; trailing\nentry:\n  ret void ; done\n}\n";
+        let src =
+            "; leading comment\ndefine void @w() { ; trailing\nentry:\n  ret void ; done\n}\n";
         assert!(parse_module(src).is_ok());
     }
 }

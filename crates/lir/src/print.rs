@@ -45,7 +45,13 @@ fn block_label(f: &Function, id: BlockId) -> &str {
     &f.block(id).name
 }
 
-fn write_block(w: &mut impl Write, m: &Module, f: &Function, _id: BlockId, b: &Block) -> fmt::Result {
+fn write_block(
+    w: &mut impl Write,
+    m: &Module,
+    f: &Function,
+    _id: BlockId,
+    b: &Block,
+) -> fmt::Result {
     writeln!(w, "{}:", b.name)?;
     for phi in &b.phis {
         write!(w, "  {} = phi {} ", phi.dst, phi.ty)?;

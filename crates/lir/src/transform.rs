@@ -61,6 +61,10 @@ pub fn split_critical_edges(f: &mut Function) -> bool {
     true
 }
 
+/// One φ of the target block during edge redirection: its index, type, and
+/// the incomings arriving from the moved predecessors.
+type PhiMove = (usize, crate::types::Ty, Vec<(BlockId, Operand)>);
+
 fn redirect_phi_edges(
     f: &mut Function,
     target: BlockId,
@@ -70,18 +74,14 @@ fn redirect_phi_edges(
     // For each φ in `target`, gather incomings from `moved_preds`, replace
     // them with a single incoming from `new_block`, and (if needed) create a
     // φ in `new_block` merging the moved values.
-    let phis_info: Vec<(usize, crate::types::Ty, Vec<(BlockId, Operand)>)> = f
+    let phis_info: Vec<PhiMove> = f
         .block(target)
         .phis
         .iter()
         .enumerate()
         .map(|(i, phi)| {
-            let moved: Vec<(BlockId, Operand)> = phi
-                .incomings
-                .iter()
-                .filter(|(p, _)| moved_preds.contains(p))
-                .cloned()
-                .collect();
+            let moved: Vec<(BlockId, Operand)> =
+                phi.incomings.iter().filter(|(p, _)| moved_preds.contains(p)).cloned().collect();
             (i, phi.ty, moved)
         })
         .collect();
@@ -89,9 +89,8 @@ fn redirect_phi_edges(
         if moved.is_empty() {
             continue;
         }
-        let value = if moved.len() == 1 {
-            moved[0].1
-        } else if moved.iter().all(|(_, v)| *v == moved[0].1) {
+        // A single moved edge, or several agreeing ones, needs no new phi.
+        let value = if moved.iter().all(|(_, v)| *v == moved[0].1) {
             moved[0].1
         } else {
             let dst = f.new_reg();
@@ -213,11 +212,8 @@ pub fn dedicated_exits(f: &mut Function) -> bool {
             targets.sort();
             targets.dedup();
             for t in targets {
-                let ins: Vec<BlockId> = cfg.preds[t.index()]
-                    .iter()
-                    .copied()
-                    .filter(|p| lf.contains(li, *p))
-                    .collect();
+                let ins: Vec<BlockId> =
+                    cfg.preds[t.index()].iter().copied().filter(|p| lf.contains(li, *p)).collect();
                 let has_outside = cfg.preds[t.index()].iter().any(|p| !lf.contains(li, *p));
                 if has_outside && !ins.is_empty() {
                     work = Some((li, t, ins));
@@ -423,10 +419,7 @@ merge:
         assert_eq!(lf.loops.len(), 1);
         for (_, t) in &lf.loops[0].exits {
             for p in &cfg.preds[t.index()] {
-                assert!(
-                    lf.contains(LoopId(0), *p),
-                    "exit target has non-loop predecessor"
-                );
+                assert!(lf.contains(LoopId(0), *p), "exit target has non-loop predecessor");
             }
         }
     }

@@ -120,7 +120,9 @@ fn check_phi_shape(f: &Function, cfg: &Cfg, problems: &mut Vec<String>) {
                 if n != 1 {
                     problems.push(format!(
                         "phi {} in {}: {n} incomings from predecessor {}",
-                        phi.dst, b.name, f.block(*p).name
+                        phi.dst,
+                        b.name,
+                        f.block(*p).name
                     ));
                 }
             }
@@ -128,7 +130,9 @@ fn check_phi_shape(f: &Function, cfg: &Cfg, problems: &mut Vec<String>) {
                 if !distinct.contains(p) {
                     problems.push(format!(
                         "phi {} in {}: incoming from non-predecessor {}",
-                        phi.dst, b.name, f.block(*p).name
+                        phi.dst,
+                        b.name,
+                        f.block(*p).name
                     ));
                 }
             }
@@ -280,27 +284,29 @@ fn check_dominance(f: &Function, cfg: &Cfg, dt: &DomTree, problems: &mut Vec<Str
             }
         }
     }
-    let check_use = |r: Reg, at_block: BlockId, at_pos: usize, what: &str, problems: &mut Vec<String>| {
-        let Some(db) = defs.get(r.index()).copied().flatten() else {
-            problems.push(format!("{what}: use of undefined register {r}"));
-            return;
-        };
-        if !cfg.is_reachable(at_block) {
-            return; // dominance is vacuous in unreachable code
-        }
-        if db == at_block {
-            let dp = def_pos.get(&r).copied().unwrap_or(0);
-            if dp > at_pos {
-                problems.push(format!("{what}: {r} used before its definition in the same block"));
+    let check_use =
+        |r: Reg, at_block: BlockId, at_pos: usize, what: &str, problems: &mut Vec<String>| {
+            let Some(db) = defs.get(r.index()).copied().flatten() else {
+                problems.push(format!("{what}: use of undefined register {r}"));
+                return;
+            };
+            if !cfg.is_reachable(at_block) {
+                return; // dominance is vacuous in unreachable code
             }
-        } else if !dt.strictly_dominates(db, at_block) {
-            problems.push(format!(
-                "{what}: use of {r} in {} not dominated by its definition in {}",
-                f.block(at_block).name,
-                f.block(db).name
-            ));
-        }
-    };
+            if db == at_block {
+                let dp = def_pos.get(&r).copied().unwrap_or(0);
+                if dp > at_pos {
+                    problems
+                        .push(format!("{what}: {r} used before its definition in the same block"));
+                }
+            } else if !dt.strictly_dominates(db, at_block) {
+                problems.push(format!(
+                    "{what}: use of {r} in {} not dominated by its definition in {}",
+                    f.block(at_block).name,
+                    f.block(db).name
+                ));
+            }
+        };
     for (id, b) in f.iter_blocks() {
         if !cfg.is_reachable(id) {
             continue;

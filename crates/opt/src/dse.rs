@@ -62,15 +62,13 @@ fn remove_overwritten_stores(f: &mut Function) -> bool {
                             break 'scan;
                         }
                     }
-                    Inst::Load { ty: lty, ptr: lptr, .. } => {
-                        if !aa.no_alias(f, *lptr, lty.bytes(), *ptr, size) {
-                            break 'scan; // may observe the stored value
-                        }
+                    Inst::Load { ty: lty, ptr: lptr, .. }
+                        if !aa.no_alias(f, *lptr, lty.bytes(), *ptr, size) =>
+                    {
+                        break 'scan; // may observe the stored value
                     }
-                    Inst::Call { callee, .. } => {
-                        if lir::known::effects_of(callee).may_read() {
-                            break 'scan;
-                        }
+                    Inst::Call { callee, .. } if lir::known::effects_of(callee).may_read() => {
+                        break 'scan;
                     }
                     _ => {}
                 }

@@ -135,11 +135,8 @@ pub fn run_gvn(f: &mut Function, _ctx: &Ctx<'_>) -> bool {
     }
 
     for &bid in &order {
-        let mut table: HashMap<ExprKey, Operand> = dt
-            .idom_of(bid)
-            .and_then(|d| tables.get(&d))
-            .cloned()
-            .unwrap_or_default();
+        let mut table: HashMap<ExprKey, Operand> =
+            dt.idom_of(bid).and_then(|d| tables.get(&d)).cloned().unwrap_or_default();
         // Memory facts: inherit from the immediate dominator only when every
         // path from it to us is free of clobbers — conservatively, when we
         // have a single predecessor which is the idom itself (extended
@@ -150,9 +147,7 @@ pub fn run_gvn(f: &mut Function, _ctx: &Ctx<'_>) -> bool {
             distinct.sort();
             distinct.dedup();
             match distinct.as_slice() {
-                [p] if dt.idom_of(bid) == Some(*p) => {
-                    mem_facts.get(p).cloned().unwrap_or_default()
-                }
+                [p] if dt.idom_of(bid) == Some(*p) => mem_facts.get(p).cloned().unwrap_or_default(),
                 _ => Vec::new(),
             }
         };
@@ -175,11 +170,8 @@ pub fn run_gvn(f: &mut Function, _ctx: &Ctx<'_>) -> bool {
         {
             let phis = f.block(bid).phis.clone();
             for phi in &phis {
-                let mut incs: Vec<(BlockId, Operand)> = phi
-                    .incomings
-                    .iter()
-                    .map(|&(p, v)| (p, resolve(v, &repl)))
-                    .collect();
+                let mut incs: Vec<(BlockId, Operand)> =
+                    phi.incomings.iter().map(|&(p, v)| (p, resolve(v, &repl))).collect();
                 incs.sort_by_key(|&(p, v)| (p, op_rank(v)));
                 // All incomings equal (and not self-referential)?
                 let first = incs.first().map(|&(_, v)| v);
@@ -211,9 +203,8 @@ pub fn run_gvn(f: &mut Function, _ctx: &Ctx<'_>) -> bool {
                     let p = resolve(*ptr, &repl);
                     let size = ty.bytes();
                     // Forward a known memory fact.
-                    if let Some(fact) = facts
-                        .iter()
-                        .find(|ft| ft.size == size && aa.must_alias(f, ft.ptr, p))
+                    if let Some(fact) =
+                        facts.iter().find(|ft| ft.size == size && aa.must_alias(f, ft.ptr, p))
                     {
                         repl.insert(*dst, fact.value);
                         changed = true;
@@ -426,7 +417,7 @@ entry:
 ";
         let (m, m2) = gvn(src);
         same_behaviour(&m, &m2, &[vec![0x11000, 1, 2]]); // needs a real pointer: use interp? skip direct args
-        // Structural check instead: the load forwards %y.
+                                                         // Structural check instead: the load forwards %y.
         match &m2.functions[0].blocks[0].term {
             lir::inst::Term::Ret { val: Some(v), .. } => {
                 assert_eq!(*v, Operand::Reg(Reg(2)), "{}", m2.functions[0])
@@ -447,8 +438,11 @@ entry:
 }
 ";
         let (_, m2) = gvn(src);
-        let loads =
-            m2.functions[0].blocks[0].insts.iter().filter(|i| matches!(i, Inst::Load { .. })).count();
+        let loads = m2.functions[0].blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
         assert_eq!(loads, 1);
     }
 
@@ -465,8 +459,11 @@ entry:
 }
 ";
         let (_, m2) = gvn(src);
-        let loads =
-            m2.functions[0].blocks[0].insts.iter().filter(|i| matches!(i, Inst::Load { .. })).count();
+        let loads = m2.functions[0].blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
         assert_eq!(loads, 2, "sink may write memory; both loads must stay");
     }
 

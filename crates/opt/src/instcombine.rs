@@ -406,7 +406,8 @@ mod tests {
 
     #[test]
     fn add_self_becomes_shift() {
-        let f = combine("define i64 @f(i64 %x) {\nentry:\n  %a = add i64 %x, %x\n  ret i64 %a\n}\n");
+        let f =
+            combine("define i64 @f(i64 %x) {\nentry:\n  %a = add i64 %x, %x\n  ret i64 %a\n}\n");
         match only_inst(&f) {
             Inst::Bin { op: BinOp::Shl, b, .. } => assert_eq!(b.as_int(), Some(1)),
             i => panic!("unexpected {i:?}"),
@@ -424,7 +425,8 @@ mod tests {
 
     #[test]
     fn add_negative_becomes_sub() {
-        let f = combine("define i64 @f(i64 %x) {\nentry:\n  %a = add i64 %x, -5\n  ret i64 %a\n}\n");
+        let f =
+            combine("define i64 @f(i64 %x) {\nentry:\n  %a = add i64 %x, -5\n  ret i64 %a\n}\n");
         match only_inst(&f) {
             Inst::Bin { op: BinOp::Sub, b, .. } => assert_eq!(b.as_int(), Some(5)),
             i => panic!("unexpected {i:?}"),
@@ -434,7 +436,8 @@ mod tests {
     #[test]
     fn icmp_canonicalizations() {
         // Constant moves right with swapped predicate: 10 > x ==> x < 10.
-        let f = combine("define i1 @f(i64 %x) {\nentry:\n  %a = icmp sgt i64 10, %x\n  ret i1 %a\n}\n");
+        let f =
+            combine("define i1 @f(i64 %x) {\nentry:\n  %a = icmp sgt i64 10, %x\n  ret i1 %a\n}\n");
         match only_inst(&f) {
             Inst::Icmp { pred: IcmpPred::Slt, a, b, .. } => {
                 assert_eq!(*a, Operand::Reg(Reg(0)));
@@ -443,15 +446,15 @@ mod tests {
             i => panic!("unexpected {i:?}"),
         }
         // sle x, 7 ==> slt x, 8
-        let f = combine("define i1 @f(i64 %x) {\nentry:\n  %a = icmp sle i64 %x, 7\n  ret i1 %a\n}\n");
+        let f =
+            combine("define i1 @f(i64 %x) {\nentry:\n  %a = icmp sle i64 %x, 7\n  ret i1 %a\n}\n");
         match only_inst(&f) {
             Inst::Icmp { pred: IcmpPred::Slt, b, .. } => assert_eq!(b.as_int(), Some(8)),
             i => panic!("unexpected {i:?}"),
         }
         // sle at the signed max must NOT be adjusted (overflow).
-        let f = combine(
-            "define i1 @f(i8 %x) {\nentry:\n  %a = icmp sle i8 %x, 127\n  ret i1 %a\n}\n",
-        );
+        let f =
+            combine("define i1 @f(i8 %x) {\nentry:\n  %a = icmp sle i8 %x, 127\n  ret i1 %a\n}\n");
         match only_inst(&f) {
             Inst::Icmp { pred: IcmpPred::Sle, .. } => {}
             i => panic!("unexpected {i:?}"),
@@ -460,7 +463,8 @@ mod tests {
 
     #[test]
     fn reflexive_compare_folds() {
-        let f = combine("define i1 @f(i64 %x) {\nentry:\n  %a = icmp eq i64 %x, %x\n  ret i1 %a\n}\n");
+        let f =
+            combine("define i1 @f(i64 %x) {\nentry:\n  %a = icmp eq i64 %x, %x\n  ret i1 %a\n}\n");
         assert!(f.blocks[0].insts.is_empty());
         match &f.blocks[0].term {
             lir::inst::Term::Ret { val: Some(v), .. } => assert_eq!(*v, Operand::bool(true)),

@@ -76,13 +76,7 @@ fn derefable(f: &Function, aa: &Aliasing, ptr: Operand, sz: u64) -> bool {
     }
 }
 
-fn hoist_loop(
-    f: &mut Function,
-    cfg: &Cfg,
-    dt: &DomTree,
-    lf: &LoopForest,
-    lid: LoopId,
-) -> bool {
+fn hoist_loop(f: &mut Function, cfg: &Cfg, dt: &DomTree, lf: &LoopForest, lid: LoopId) -> bool {
     let Some(preheader) = lf.preheader(cfg, lid) else { return false };
     let l = lf.get(lid);
     let body: HashSet<BlockId> = l.body.iter().copied().collect();
@@ -99,11 +93,10 @@ fn hoist_loop(
             }
         }
     }
-    let invariant_op =
-        |op: Operand, hoisted: &HashSet<Reg>, defined_in: &HashSet<Reg>| match op {
-            Operand::Reg(r) => !defined_in.contains(&r) || hoisted.contains(&r),
-            _ => true,
-        };
+    let invariant_op = |op: Operand, hoisted: &HashSet<Reg>, defined_in: &HashSet<Reg>| match op {
+        Operand::Reg(r) => !defined_in.contains(&r) || hoisted.contains(&r),
+        _ => true,
+    };
 
     // Memory writes inside the loop.
     let mut writes: Vec<(Operand, u64)> = Vec::new(); // (ptr, size)
@@ -112,10 +105,8 @@ fn hoist_loop(
         for inst in &f.block(b).insts {
             match inst {
                 Inst::Store { ty, ptr, .. } => writes.push((*ptr, ty.bytes())),
-                Inst::Call { callee, .. } => {
-                    if lir::known::effects_of(callee).may_write() {
-                        has_unknown_write = true;
-                    }
+                Inst::Call { callee, .. } if lir::known::effects_of(callee).may_write() => {
+                    has_unknown_write = true;
                 }
                 _ => {}
             }
@@ -130,8 +121,7 @@ fn hoist_loop(
         v.dedup();
         v
     };
-    let dominates_exits =
-        |b: BlockId| exiting.iter().all(|e| dt.dominates(b, *e));
+    let dominates_exits = |b: BlockId| exiting.iter().all(|e| dt.dominates(b, *e));
 
     let mut hoisted: HashSet<Reg> = HashSet::new();
     let mut moved: Vec<Inst> = Vec::new();
@@ -467,7 +457,10 @@ e:
         // The invariant mul leaves both loops entirely.
         for (_, b) in m2.functions[0].iter_blocks() {
             if b.name == "ibody" || b.name == "ih" || b.name == "oh" {
-                assert!(!b.insts.iter().any(|i| matches!(i, Inst::Bin { op: lir::inst::BinOp::Mul, .. })));
+                assert!(!b
+                    .insts
+                    .iter()
+                    .any(|i| matches!(i, Inst::Bin { op: lir::inst::BinOp::Mul, .. })));
             }
         }
         for n in [0u64, 2, 3] {

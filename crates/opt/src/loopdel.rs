@@ -128,12 +128,8 @@ fn try_delete(f: &mut Function, cfg: &Cfg, lf: &LoopForest, lid: LoopId) -> bool
     // preheader (their values are invariant by the check above). If several
     // exit edges carried different invariant values the φ cannot be
     // preserved with a single preheader edge; bail out in that case.
-    let exiting_preds: Vec<BlockId> = l
-        .exits
-        .iter()
-        .filter(|(_, t)| *t == exit_target)
-        .map(|(s, _)| *s)
-        .collect();
+    let exiting_preds: Vec<BlockId> =
+        l.exits.iter().filter(|(_, t)| *t == exit_target).map(|(s, _)| *s).collect();
     for phi in &f.block(exit_target).phis {
         let vals: HashSet<_> = phi
             .incomings

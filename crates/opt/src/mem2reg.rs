@@ -120,10 +120,8 @@ pub fn promote_allocas(f: &mut Function) -> bool {
     }
 
     // Renaming walk over the dominator tree.
-    let mut stacks: HashMap<Reg, Vec<Operand>> = promote
-        .iter()
-        .map(|(&a, &ty)| (a, vec![Operand::Const(Constant::Undef(ty))]))
-        .collect();
+    let mut stacks: HashMap<Reg, Vec<Operand>> =
+        promote.iter().map(|(&a, &ty)| (a, vec![Operand::Const(Constant::Undef(ty))])).collect();
     // Pre-order DFS with explicit undo.
     #[derive(Debug)]
     enum Step {
@@ -157,7 +155,9 @@ pub fn promote_allocas(f: &mut Function) -> bool {
                             let cur = *stacks[r].last().expect("stack nonempty");
                             load_repl.insert(*dst, cur);
                         }
-                        Inst::Store { val, ptr: Operand::Reg(r), .. } if promote.contains_key(r) => {
+                        Inst::Store { val, ptr: Operand::Reg(r), .. }
+                            if promote.contains_key(r) =>
+                        {
                             // The stored value may itself be a promoted load.
                             let v = match val {
                                 Operand::Reg(v) if load_repl.contains_key(v) => load_repl[v],
@@ -322,7 +322,12 @@ e:
 ";
         let (m, m2) = promote_src(src);
         assert_eq!(
-            m2.functions[0].blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Load { .. })).count(),
+            m2.functions[0]
+                .blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .filter(|i| matches!(i, Inst::Load { .. }))
+                .count(),
             0
         );
         behaviour_matches(&m, &m2, &[&[0], &[1], &[5], &[10]]);

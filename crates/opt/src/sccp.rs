@@ -308,8 +308,12 @@ pub fn run_sccp(f: &mut Function) -> bool {
                             break;
                         }
                     }
-                    let mut abandoned: Vec<BlockId> =
-                        f.blocks[bi].term.successors().into_iter().filter(|s| *s != target).collect();
+                    let mut abandoned: Vec<BlockId> = f.blocks[bi]
+                        .term
+                        .successors()
+                        .into_iter()
+                        .filter(|s| *s != target)
+                        .collect();
                     abandoned.dedup();
                     Some((target, abandoned))
                 } else {
@@ -424,11 +428,8 @@ x2:
 ";
         // SCCP alone cannot prove a == b (both are Bot), but it does fold %d.
         let f = sccp_src(src);
-        let ret_blocks: Vec<_> = f
-            .blocks
-            .iter()
-            .filter(|b| matches!(b.term, Term::Ret { .. }))
-            .collect();
+        let ret_blocks: Vec<_> =
+            f.blocks.iter().filter(|b| matches!(b.term, Term::Ret { .. })).collect();
         assert!(ret_blocks.iter().any(|b| matches!(
             &b.term,
             Term::Ret { val: Some(v), .. } if v.as_int() == Some(1)

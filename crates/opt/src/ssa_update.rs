@@ -48,10 +48,8 @@ pub fn repair(f: &mut Function, vars: Vec<MultiDef>, skip_blocks: &HashSet<Block
         let mut seen: HashSet<BlockId> = work.iter().copied().collect();
         while let Some(b) = work.pop() {
             for &d in &df[b.index()] {
-                if phi_blocks.insert(d) {
-                    if seen.insert(d) {
-                        work.push(d);
-                    }
+                if phi_blocks.insert(d) && seen.insert(d) {
+                    work.push(d);
                 }
             }
         }
@@ -100,12 +98,7 @@ pub fn repair(f: &mut Function, vars: Vec<MultiDef>, skip_blocks: &HashSet<Block
                     (q, out_val.get(&q).copied().unwrap_or(Operand::Const(Constant::Undef(var.ty))))
                 })
                 .collect();
-            let phi = f
-                .block_mut(b)
-                .phis
-                .iter_mut()
-                .find(|ph| ph.dst == p)
-                .expect("phi placed");
+            let phi = f.block_mut(b).phis.iter_mut().find(|ph| ph.dst == p).expect("phi placed");
             phi.incomings = incomings;
         }
         // 4. Rewrite uses of var.orig outside skip_blocks: a use in block B
@@ -122,7 +115,9 @@ pub fn repair(f: &mut Function, vars: Vec<MultiDef>, skip_blocks: &HashSet<Block
                 return v;
             }
             match dt.idom_of(b) {
-                Some(d) => out_val.get(&d).copied().unwrap_or(Operand::Const(Constant::Undef(var.ty))),
+                Some(d) => {
+                    out_val.get(&d).copied().unwrap_or(Operand::Const(Constant::Undef(var.ty)))
+                }
                 None => Operand::Const(Constant::Undef(var.ty)),
             }
         };

@@ -77,7 +77,8 @@ fn unswitch_one(f: &mut Function, cfg: &Cfg, lf: &LoopForest, lid: LoopId) -> bo
     let Some(preheader) = lf.preheader(cfg, lid) else { return false };
     let l = lf.get(lid);
     let body: HashSet<BlockId> = l.body.iter().copied().collect();
-    let size: usize = l.body.iter().map(|&b| f.block(b).phis.len() + f.block(b).insts.len() + 1).sum();
+    let size: usize =
+        l.body.iter().map(|&b| f.block(b).phis.len() + f.block(b).insts.len() + 1).sum();
     if size > SIZE_LIMIT {
         return false;
     }
@@ -149,7 +150,7 @@ fn unswitch_one(f: &mut Function, cfg: &Cfg, lf: &LoopForest, lid: LoopId) -> bo
         block_map.insert(b, nb);
     }
     let mut reg_map: HashMap<Reg, Reg> = HashMap::new();
-    for (&r, _) in &defined_in {
+    for &r in defined_in.keys() {
         reg_map.insert(r, f.new_reg());
     }
     let map_op = |op: &mut Operand, reg_map: &HashMap<Reg, Reg>| {

@@ -222,7 +222,8 @@ pub fn corpus_modules() -> Vec<(&'static str, lir::func::Module)> {
     corpus()
         .into_iter()
         .map(|(name, src)| {
-            let m = lir::parse::parse_module(src).unwrap_or_else(|e| panic!("corpus entry {name}: {e:?}"));
+            let m = lir::parse::parse_module(src)
+                .unwrap_or_else(|e| panic!("corpus entry {name}: {e:?}"));
             (name, m)
         })
         .collect()
@@ -255,7 +256,8 @@ mod tests {
     #[test]
     fn strlen_loop_runs() {
         use lir::interp::{run, ExecConfig};
-        let mut m = corpus_modules().into_iter().find(|(n, _)| *n == "sec53_strlen_loop").unwrap().1;
+        let mut m =
+            corpus_modules().into_iter().find(|(n, _)| *n == "sec53_strlen_loop").unwrap().1;
         // Give @str (the second global; @data is first) a real string: "hi\0".
         m.globals[1].words[0] = i64::from_le_bytes(*b"hi\0\0\0\0\0\0");
         let out = run(&m, "f", &[99], &ExecConfig::default()).expect("runs");

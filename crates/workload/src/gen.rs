@@ -17,13 +17,12 @@
 //! and empty or result-free loops (loop deletion, ADCE).
 
 use crate::profiles::Profile;
+use crate::rng::SplitMix64;
 use lir::builder::FunctionBuilder;
 use lir::func::{BlockId, Function, Global, Module};
 use lir::inst::{BinOp, CastOp, FBinOp, FcmpPred, IcmpPred};
 use lir::types::Ty;
 use lir::value::Operand;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generate the module for one benchmark profile.
 pub fn generate(profile: &Profile) -> Module {
@@ -37,8 +36,12 @@ pub fn generate(profile: &Profile) -> Module {
         words: vec![i64::from_le_bytes(*b"abcdefg\0"), 0, 0, 0],
         is_const: false,
     });
-    m.add_global(Global { name: "table".into(), words: vec![3, 1, 4, 1, 5, 9, 2, 6], is_const: true });
-    let mut rng = StdRng::seed_from_u64(profile.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    m.add_global(Global {
+        name: "table".into(),
+        words: vec![3, 1, 4, 1, 5, 9, 2, 6],
+        is_const: true,
+    });
+    let mut rng = SplitMix64::seed_from_u64(profile.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     for i in 0..profile.functions {
         let f = gen_function(profile, &mut rng, i);
         debug_assert!(
@@ -54,7 +57,7 @@ pub fn generate(profile: &Profile) -> Module {
 /// Running state while emitting one function.
 struct Gen<'a> {
     p: &'a Profile,
-    rng: &'a mut StdRng,
+    rng: &'a mut SplitMix64,
     b: FunctionBuilder,
     /// i64 values usable at the current point (parameters, constants and
     /// every value defined in a dominating position).
@@ -74,7 +77,7 @@ const DATA: lir::func::GlobalId = lir::func::GlobalId(0);
 const STR: lir::func::GlobalId = lir::func::GlobalId(1);
 const TABLE: lir::func::GlobalId = lir::func::GlobalId(2);
 
-fn gen_function(p: &Profile, rng: &mut StdRng, index: usize) -> Function {
+fn gen_function(p: &Profile, rng: &mut SplitMix64, index: usize) -> Function {
     let n_params = rng.gen_range(1..=4);
     let mut b = FunctionBuilder::new(format!("f{index}"), Ty::I64);
     let mut ints = Vec::new();
@@ -113,7 +116,7 @@ fn gen_function(p: &Profile, rng: &mut StdRng, index: usize) -> Function {
     let folds = 2 + g.ints.len() / 3;
     for _ in 0..folds {
         let x = g.pick_int();
-        let op = [BinOp::Add, BinOp::Xor, BinOp::Mul][g.rng.gen_range(0..3)];
+        let op = [BinOp::Add, BinOp::Xor, BinOp::Mul][g.rng.gen_range(0..3usize)];
         acc = g.b.bin(op, Ty::I64, acc, x);
     }
     if !g.floats.is_empty() && g.rng.gen_bool(0.5) {
@@ -149,10 +152,13 @@ impl Gen<'_> {
             if self.budget == 0 {
                 return;
             }
-            let r: f64 = self.rng.gen();
+            let r: f64 = self.rng.gen_f64();
             if depth < self.p.max_depth && r < self.p.loop_prob && self.budget >= 8 {
                 self.gen_loop(depth);
-            } else if depth < self.p.max_depth && r < self.p.loop_prob + self.p.branch_prob && self.budget >= 6 {
+            } else if depth < self.p.max_depth
+                && r < self.p.loop_prob + self.p.branch_prob
+                && self.budget >= 6
+            {
                 self.gen_if(depth);
             } else if depth < self.p.max_depth
                 && r < self.p.loop_prob + self.p.branch_prob + self.p.switch_prob
@@ -176,7 +182,7 @@ impl Gen<'_> {
                 return;
             }
             self.budget -= 1;
-            let r: f64 = self.rng.gen();
+            let r: f64 = self.rng.gen_f64();
             if r < self.p.mem_prob {
                 self.gen_mem_op();
             } else if r < self.p.mem_prob + self.p.libc_prob {
@@ -212,10 +218,16 @@ impl Gen<'_> {
             3 => self.b.bin(BinOp::And, Ty::I64, a, b),
             4 => self.b.bin(BinOp::Or, Ty::I64, a, b),
             5 => self.b.bin(BinOp::Xor, Ty::I64, a, b),
-            6 => self.b.bin(BinOp::Shl, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(0..8))),
-            7 => self.b.bin(BinOp::AShr, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(0..8))),
+            6 => {
+                self.b.bin(BinOp::Shl, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(0..8)))
+            }
+            7 => {
+                self.b.bin(BinOp::AShr, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(0..8)))
+            }
             // Safe division: non-zero constant divisor.
-            8 => self.b.bin(BinOp::SDiv, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(1..9))),
+            8 => {
+                self.b.bin(BinOp::SDiv, Ty::I64, a, Operand::int(Ty::I64, self.rng.gen_range(1..9)))
+            }
             _ => {
                 let c = self.small_const();
                 self.b.bin(BinOp::Add, Ty::I64, a, c)
@@ -295,7 +307,7 @@ impl Gen<'_> {
             4 if !self.allocas.is_empty() => {
                 let p = self.allocas[self.rng.gen_range(0..self.allocas.len())];
                 let x = Operand::int(Ty::I64, self.rng.gen_range(0..256));
-                let l = Operand::int(Ty::I64, 8 * self.rng.gen_range(1..=4));
+                let l = Operand::int(Ty::I64, 8 * self.rng.gen_range(1i64..=4));
                 self.b.call_void("memset", vec![(Ty::Ptr, p), (Ty::I64, x), (Ty::I64, l)]);
             }
             _ => {
@@ -409,7 +421,8 @@ impl Gen<'_> {
         let _ = body_branch;
         // Invariant expression (LICM fodder).
         if self.rng.gen_bool(0.4) {
-            let inv1 = self.ints[..pool.min(self.ints.len())][self.rng.gen_range(0..pool.min(self.ints.len()))];
+            let inv1 = self.ints[..pool.min(self.ints.len())]
+                [self.rng.gen_range(0..pool.min(self.ints.len()))];
             let inv = self.b.bin(BinOp::Add, Ty::I64, inv1, Operand::int(Ty::I64, 3));
             self.ints.push(inv);
         }
@@ -548,7 +561,8 @@ mod tests {
         let mut ok = 0;
         for f in &m.functions {
             for args_seed in 0..3u64 {
-                let args: Vec<u64> = (0..f.params.len() as u64).map(|i| args_seed * 17 + i * 3).collect();
+                let args: Vec<u64> =
+                    (0..f.params.len() as u64).map(|i| args_seed * 17 + i * 3).collect();
                 ran += 1;
                 if run(&m, &f.name, &args, &ExecConfig::default()).is_ok() {
                     ok += 1;
@@ -573,6 +587,9 @@ mod tests {
             m.functions.iter().map(|f| format!("{f}").matches(what).count()).sum()
         };
         assert!(count(&m_lbm, "fadd") + count(&m_lbm, "fmul") > 0, "lbm is floaty");
-        assert!(count(&m_gcc, "switch") + count(&m_gcc, "br i1") > count(&m_lbm, "switch"), "gcc is branchy");
+        assert!(
+            count(&m_gcc, "switch") + count(&m_gcc, "br i1") > count(&m_lbm, "switch"),
+            "gcc is branchy"
+        );
     }
 }

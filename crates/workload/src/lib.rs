@@ -27,7 +27,9 @@
 pub mod corpus;
 pub mod gen;
 pub mod profiles;
+pub mod rng;
 
 pub use corpus::{corpus, corpus_modules};
 pub use gen::generate;
 pub use profiles::{profile, profiles, PaperRow, Profile};
+pub use rng::SplitMix64;

@@ -209,7 +209,10 @@ mod tests {
         let ps = profiles();
         assert_eq!(ps.len(), 12);
         let total_paper: u32 = ps.iter().map(|p| p.paper.functions).sum();
-        assert_eq!(total_paper, 1363 + 104 + 5745 + 610 + 644 + 19 + 115 + 24 + 237 + 1998 + 166 + 391);
+        assert_eq!(
+            total_paper,
+            1363 + 104 + 5745 + 610 + 644 + 19 + 115 + 24 + 237 + 1998 + 166 + 391
+        );
         assert!(ps.iter().all(|p| p.functions >= 10));
         // Distinct seeds so benchmarks differ.
         let mut seeds: Vec<u64> = ps.iter().map(|p| p.seed).collect();

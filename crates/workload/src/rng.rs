@@ -1,0 +1,149 @@
+//! A seed-stable, zero-dependency PRNG for workload generation.
+//!
+//! The workspace builds fully offline, so `rand` is replaced by this
+//! module: a [SplitMix64](https://prng.di.unimi.it/splitmix64.c) core with
+//! the small sampling surface the generator and the test harnesses need
+//! ([`gen_range`](SplitMix64::gen_range), [`gen_bool`](SplitMix64::gen_bool),
+//! [`gen_f64`](SplitMix64::gen_f64)).
+//!
+//! Two guarantees matter more here than statistical quality:
+//!
+//! * **seed stability** — the sequence for a given seed is fixed by this
+//!   file alone (no platform, word-size or dependency-version influence),
+//!   so generated benchmark modules are byte-identical everywhere and
+//!   committed figures stay reproducible;
+//! * **determinism under extension** — samples are derived purely from the
+//!   64-bit output stream in call order, so adding new sampling helpers
+//!   never perturbs existing sequences.
+//!
+//! Range sampling uses multiply-shift reduction (Lemire) without the
+//! rejection step: for the small spans the generator draws from, the bias
+//! is at most span/2^64 and irrelevant to a synthetic workload, while the
+//! non-rejecting form keeps exactly one stream draw per sample (simpler to
+//! reason about for determinism).
+
+/// SplitMix64: a tiny, fast, full-period 64-bit PRNG.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Mirrors `rand`'s `SeedableRng::seed_from_u64`
+    /// shape so the call sites read the same.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output. The add-gamma-then-mix step is exactly
+    /// [`lir::interp::splitmix64`] (the interpreter's opaque-function
+    /// model), reused so the reference mixer lives in one place.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = lir::interp::splitmix64(self.state);
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        out
+    }
+
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Multiply-shift reduction of one stream draw onto `[0, span)`.
+    /// `span` must be non-zero.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0, "empty sample range");
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Integer ranges [`SplitMix64::gen_range`] can sample from. Implemented
+/// for `Range` and `RangeInclusive` over the integer types the workload
+/// generator uses; literals infer their type from context exactly as they
+/// did with `rand`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_seed_stable() {
+        // Golden values for the reference SplitMix64 stream at seed 0
+        // (prng.di.unimi.it/splitmix64.c). If these change, every committed
+        // workload and figure changes with them.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(42);
+        for _ in 0..2000 {
+            let a: i64 = r.gen_range(-16..=16);
+            assert!((-16..=16).contains(&a));
+            let b: usize = r.gen_range(0..3);
+            assert!(b < 3);
+            let c: u64 = r.gen_range(1..9);
+            assert!((1..9).contains(&c));
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_sampling_covers_all_values() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.1)));
+    }
+}

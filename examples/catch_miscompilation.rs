@@ -91,7 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut bad = honest.clone();
         assert!(bug(&mut bad.functions[0]), "bug injector found a target");
         let verdict = validator.validate(f, &bad.functions[0]);
-        println!("{name:18}: validated = {} ({})", verdict.validated, verdict.reason.clone().expect("alarm"));
+        println!(
+            "{name:18}: validated = {} ({})",
+            verdict.validated,
+            verdict.reason.clone().expect("alarm")
+        );
         assert!(!verdict.validated, "{name} slipped through!");
     }
     println!("\nall three miscompilations rejected; honest output certified");

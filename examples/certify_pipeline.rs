@@ -29,9 +29,14 @@ fn main() {
         if name == "sec42_extended" {
             for (n, m_arg) in [(0u64, 21u64), (5, 8)] {
                 let a = run(&m, "f", &[n, m_arg], &ExecConfig::default()).expect("input runs");
-                let b = run(&certified, "f", &[n, m_arg], &ExecConfig::default()).expect("output runs");
+                let b =
+                    run(&certified, "f", &[n, m_arg], &ExecConfig::default()).expect("output runs");
                 assert_eq!(a.ret, b.ret, "certified output diverged!");
-                println!("    f({n}, {m_arg}) = {:?} on both sides (m+m = {})", a.ret, m_arg + m_arg);
+                println!(
+                    "    f({n}, {m_arg}) = {:?} on both sides (m+m = {})",
+                    a.ret,
+                    m_arg + m_arg
+                );
             }
         }
     }

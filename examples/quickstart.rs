@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          }\n",
     )?;
     let verdict = validator.validate(&original.functions[0], &broken.functions[0]);
-    println!("\nmiscompiled:   validated = {} ({})", verdict.validated, verdict.reason.expect("has a reason"));
+    println!(
+        "\nmiscompiled:   validated = {} ({})",
+        verdict.validated,
+        verdict.reason.expect("has a reason")
+    );
     assert!(!verdict.validated);
     Ok(())
 }

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, rules) in [
         ("no rules", RuleSet::none()),
         ("phi+cfold only", RuleSet { phi: true, constfold: true, ..RuleSet::none() }),
-        ("with load/store", RuleSet { phi: true, constfold: true, loadstore: true, ..RuleSet::none() }),
+        (
+            "with load/store",
+            RuleSet { phi: true, constfold: true, loadstore: true, ..RuleSet::none() },
+        ),
     ] {
         let v = Validator { rules, ..Validator::new() };
         let verdict = v.validate(&mem_orig.functions[0], &mem_opt.functions[0]);

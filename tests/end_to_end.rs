@@ -13,7 +13,8 @@ use llvm_md::workload::corpus_modules;
 /// as §5.3 prescribes), except the entries that document a limitation.
 #[test]
 fn corpus_validates_under_pipeline() {
-    let mut validator = Validator { rules: RuleSet { libc: true, ..RuleSet::all() }, ..Validator::new() };
+    let mut validator =
+        Validator { rules: RuleSet { libc: true, ..RuleSet::all() }, ..Validator::new() };
     validator.limits.unswitch_budget = 4;
     for (name, m) in corpus_modules() {
         // `irreducible` is rejected by the front end; `unswitch_loop` is the
@@ -54,7 +55,8 @@ fn extended_example_validates() {
 /// validator alarms on the LICM hoist; with it, the pipeline validates.
 #[test]
 fn strlen_loop_needs_libc_rules() {
-    let m = corpus_modules().into_iter().find(|(n, _)| *n == "sec53_strlen_loop").expect("present").1;
+    let m =
+        corpus_modules().into_iter().find(|(n, _)| *n == "sec53_strlen_loop").expect("present").1;
     let plain = Validator::new();
     let libc = Validator { rules: RuleSet { libc: true, ..RuleSet::all() }, ..Validator::new() };
     let (_, r1) = llvm_md(&m, &paper_pipeline(), &plain);
@@ -85,7 +87,8 @@ fn memset_forwarding() {
     .expect("parses")
     .functions
     .remove(0);
-    let with_libc = Validator { rules: RuleSet { libc: true, ..RuleSet::all() }, ..Validator::new() };
+    let with_libc =
+        Validator { rules: RuleSet { libc: true, ..RuleSet::all() }, ..Validator::new() };
     let verdict = with_libc.validate(orig, &opt);
     assert!(verdict.validated, "{:?}", verdict.reason);
     let without = Validator::new().validate(orig, &opt);
@@ -108,7 +111,10 @@ fn unswitched_loop_rejects_cleanly_or_validates() {
     let rec = &report.records[0];
     if rec.transformed && !rec.validated {
         assert!(
-            matches!(rec.reason, Some(llvm_md::core::FailReason::RootsDiffer | llvm_md::core::FailReason::Budget)),
+            matches!(
+                rec.reason,
+                Some(llvm_md::core::FailReason::RootsDiffer | llvm_md::core::FailReason::Budget)
+            ),
             "rejection must be a clean normalization fixpoint: {:?}",
             rec.reason
         );

@@ -134,7 +134,12 @@ fn fig8_sccp_needs_constant_folding() {
 #[test]
 fn ablation_cycle_matching_shapes() {
     let mut rates = Vec::new();
-    for strategy in [MatchStrategy::None, MatchStrategy::Unification, MatchStrategy::Partition, MatchStrategy::Combined] {
+    for strategy in [
+        MatchStrategy::None,
+        MatchStrategy::Unification,
+        MatchStrategy::Partition,
+        MatchStrategy::Combined,
+    ] {
         let v = Validator { strategy, ..Validator::new() };
         let mut t = 0;
         let mut ok = 0;

@@ -1,5 +1,4 @@
-//! Property-based tests (proptest) for the validator stack's core
-//! invariants:
+//! Property-based tests for the validator stack's core invariants:
 //!
 //! * printer/parser round-trip over generated modules;
 //! * gated-SSA construction is deterministic and register-name independent;
@@ -9,14 +8,78 @@
 //! * rewriting preserves concrete evaluation on random acyclic expression
 //!   graphs (rule soundness);
 //! * the union-find's `replace` keeps the new structure canonical.
+//!
+//! Driven by the in-repo [`harness`] (the workspace is zero-dependency, so
+//! no `proptest`): each property runs a fixed budget of seeded cases, and a
+//! failure reports the exact case seed — rerun a single case by passing
+//! that seed to [`harness::check_one`].
 
 use lir::inst::BinOp;
 use lir::types::Ty;
 use lir::value::Constant;
 use llvm_md::core::{RuleBudgets, RuleSet, SharedGraph, Validator};
 use llvm_md::gated::{Node, NodeId};
+use llvm_md::workload::rng::SplitMix64;
 use llvm_md::workload::{generate, profiles};
-use proptest::prelude::*;
+
+/// Minimal seeded property harness: proptest's run-N-cases/report-the-seed
+/// core, without generation strategies (each property draws what it needs
+/// from the per-case RNG) and without shrinking (case seeds are reported
+/// instead, and generators keep cases small by construction).
+mod harness {
+    use super::SplitMix64;
+
+    /// The per-property case budget (matches the old proptest config).
+    pub const CASES: u64 = 96;
+
+    /// Run `prop` on `cases` deterministically-seeded RNGs; panic with the
+    /// failing case's seed and message on the first failure.
+    pub fn check(
+        name: &str,
+        cases: u64,
+        mut prop: impl FnMut(&mut SplitMix64) -> Result<(), String>,
+    ) {
+        for case in 0..cases {
+            // Per-case seeds are scrambled so consecutive cases are
+            // uncorrelated; changing the budget never changes earlier cases.
+            let seed = 0xace1_5eed_u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            if let Err(msg) = check_one(seed, &mut prop) {
+                panic!(
+                    "property `{name}` failed at case {case}/{cases} (seed {seed:#018x}):\n{msg}\n\
+                     rerun just this case with `harness::check_one({seed:#018x}, ..)`"
+                );
+            }
+        }
+    }
+
+    /// Run one case with an explicit seed (the reproduction entry point).
+    pub fn check_one(
+        seed: u64,
+        prop: &mut impl FnMut(&mut SplitMix64) -> Result<(), String>,
+    ) -> Result<(), String> {
+        prop(&mut SplitMix64::seed_from_u64(seed))
+    }
+}
+
+/// `Err` unless the condition holds (property-local `assert!`).
+macro_rules! ensure {
+    ($cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            return Err(format!($($msg)+));
+        }
+    };
+}
+
+/// `Err` unless both sides are equal, printing both (property-local
+/// `assert_eq!`).
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr, $($msg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!("{}\n  left: {a:?}\n right: {b:?}", format!($($msg)+)));
+        }
+    }};
+}
 
 /// A tiny expression language for building acyclic value graphs whose
 /// concrete value we can compute independently.
@@ -27,28 +90,32 @@ enum Expr {
     Bin(BinOp, Box<Expr>, Box<Expr>),
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-64i64..=64).prop_map(Expr::Const),
-        (0u32..4).prop_map(Expr::Param),
-    ];
-    leaf.prop_recursive(4, 48, 2, |inner| {
-        (
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-                Just(BinOp::Xor),
-                Just(BinOp::Shl),
-                Just(BinOp::LShr),
-            ],
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
-    })
+const BIN_OPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::LShr,
+];
+
+/// A random expression, at most `depth` levels of `Bin` above the leaves
+/// (the old `arb_expr` recursion budget).
+fn arb_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        if rng.gen_bool(0.5) {
+            Expr::Const(rng.gen_range(-64i64..=64))
+        } else {
+            Expr::Param(rng.gen_range(0u32..4))
+        }
+    } else {
+        let op = BIN_OPS[rng.gen_range(0..BIN_OPS.len())];
+        let a = arb_expr(rng, depth - 1);
+        let b = arb_expr(rng, depth - 1);
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
 }
 
 fn build(g: &mut SharedGraph, e: &Expr) -> NodeId {
@@ -84,32 +151,35 @@ fn eval_node(g: &SharedGraph, n: NodeId, params: &[u64; 4]) -> Option<u64> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Hash-consing: building the same expression twice yields the same id;
-    /// commutative operands share modulo order.
-    #[test]
-    fn hashconsing_is_structural(e in arb_expr()) {
+/// Hash-consing: building the same expression twice yields the same id;
+/// commutative operands share modulo order.
+#[test]
+fn hashconsing_is_structural() {
+    harness::check("hashconsing_is_structural", harness::CASES, |rng| {
+        let e = arb_expr(rng, 4);
         let mut g = SharedGraph::new();
         let a = build(&mut g, &e);
         let b = build(&mut g, &e);
-        prop_assert_eq!(a, b);
+        ensure_eq!(a, b, "same expression, different node");
         if let Expr::Bin(op, x, y) = &e {
             if op.is_commutative() {
                 let swapped = Expr::Bin(*op, y.clone(), x.clone());
                 let c = build(&mut g, &swapped);
-                prop_assert_eq!(g.find(a), g.find(c), "commutative ops are order-canonical");
+                ensure_eq!(g.find(a), g.find(c), "commutative ops are order-canonical");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Rule soundness on acyclic graphs: normalization never changes the
-    /// concrete value of an expression.
-    #[test]
-    fn rewrites_preserve_evaluation(e in arb_expr(), p0 in any::<u64>(), p1 in any::<u64>()) {
-        let params = [p0, p1, 55, 0];
-        let Some(expected) = eval(&e, &params) else { return Ok(()); };
+/// Rule soundness on acyclic graphs: normalization never changes the
+/// concrete value of an expression.
+#[test]
+fn rewrites_preserve_evaluation() {
+    harness::check("rewrites_preserve_evaluation", harness::CASES, |rng| {
+        let e = arb_expr(rng, 4);
+        let params = [rng.next_u64(), rng.next_u64(), 55, 0];
+        let Some(expected) = eval(&e, &params) else { return Ok(()) };
         let mut g = SharedGraph::new();
         let root = build(&mut g, &e);
         let rules = RuleSet::full();
@@ -117,56 +187,70 @@ proptest! {
         let mut budgets = RuleBudgets::default();
         for _ in 0..16 {
             g.rebuild();
-            if llvm_md::core::rules::apply_rules(&mut g, &[root], &rules, &mut counts, &mut budgets) == 0 {
+            if llvm_md::core::rules::apply_rules(&mut g, &[root], &rules, &mut counts, &mut budgets)
+                == 0
+            {
                 break;
             }
         }
         g.rebuild();
         let got = eval_node(&g, root, &params);
-        prop_assert_eq!(got, Some(expected), "normalized graph evaluates differently");
-    }
+        ensure_eq!(got, Some(expected), "normalized graph evaluates differently: {e:?}");
+        Ok(())
+    });
+}
 
-    /// Reflexivity: every generated (reducible) function validates against
-    /// itself with zero rewrites — the O(1) best case of §2.
-    #[test]
-    fn validation_is_reflexive(seed in 0u64..500) {
+/// Reflexivity: every generated (reducible) function validates against
+/// itself with zero rewrites — the O(1) best case of §2.
+#[test]
+fn validation_is_reflexive() {
+    harness::check("validation_is_reflexive", harness::CASES, |rng| {
+        let seed = rng.gen_range(0u64..500);
         let mut p = profiles()[(seed % 12) as usize];
         p.functions = 1;
         p.seed = seed * 911 + 13;
         let m = generate(&p);
         let v = Validator { rules: RuleSet::none(), ..Validator::new() };
         let verdict = v.validate(&m.functions[0], &m.functions[0]);
-        prop_assert!(verdict.validated);
-        prop_assert_eq!(verdict.stats.rewrites.total(), 0);
-    }
+        ensure!(verdict.validated, "self-validation failed: {verdict:?}");
+        ensure_eq!(verdict.stats.rewrites.total(), 0, "reflexive validation rewrote");
+        Ok(())
+    });
+}
 
-    /// Printer/parser round-trip on whole generated modules.
-    #[test]
-    fn print_parse_roundtrip(seed in 0u64..200) {
+/// Printer/parser round-trip on whole generated modules.
+#[test]
+fn print_parse_roundtrip() {
+    harness::check("print_parse_roundtrip", harness::CASES, |rng| {
+        let seed = rng.gen_range(0u64..200);
         let mut p = profiles()[(seed % 12) as usize];
         p.functions = 2;
         p.seed = seed.wrapping_mul(0x9e37) + 7;
         let m = generate(&p);
         let text = format!("{m}");
         let reparsed = lir::parse::parse_module(&text)
-            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e:?}\n{text}")))?;
+            .map_err(|e| format!("reparse failed: {e:?}\n{text}"))?;
         // The parser assigns register numbers by first occurrence, so the
         // round trip is compared modulo renumbering: canonicalized
         // functions must print identically.
-        prop_assert_eq!(m.functions.len(), reparsed.functions.len());
+        ensure_eq!(m.functions.len(), reparsed.functions.len(), "function count changed");
         for (a, b) in m.functions.iter().zip(reparsed.functions.iter()) {
-            prop_assert_eq!(
+            ensure_eq!(
                 format!("{}", a.canonicalized()),
                 format!("{}", b.canonicalized()),
                 "round trip changed function semantics"
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Gating is name-independent: renumbering registers/blocks leaves the
-    /// value graph identical.
-    #[test]
-    fn gating_ignores_names(seed in 0u64..200) {
+/// Gating is name-independent: renumbering registers/blocks leaves the
+/// value graph identical.
+#[test]
+fn gating_ignores_names() {
+    harness::check("gating_ignores_names", harness::CASES, |rng| {
+        let seed = rng.gen_range(0u64..200);
         let mut p = profiles()[(seed % 12) as usize];
         p.functions = 1;
         p.seed = seed * 131 + 3;
@@ -176,9 +260,10 @@ proptest! {
         let g2 = llvm_md::gated::build(&f.canonicalized()).expect("still reducible");
         let r1 = g1.ret.map(|r| g1.graph.display(r));
         let r2 = g2.ret.map(|r| g2.graph.display(r));
-        prop_assert_eq!(r1, r2);
-        prop_assert_eq!(g1.graph.display(g1.mem), g2.graph.display(g2.mem));
-    }
+        ensure_eq!(r1, r2, "return-value graphs differ");
+        ensure_eq!(g1.graph.display(g1.mem), g2.graph.display(g2.mem), "memory graphs differ");
+        Ok(())
+    });
 }
 
 #[test]

@@ -23,7 +23,11 @@ fn arg_sets(n_params: usize) -> Vec<Vec<u64>> {
     seeds
         .iter()
         .enumerate()
-        .map(|(i, &s)| (0..n_params).map(|p| s.wrapping_mul(31).wrapping_add(p as u64 * 17 + i as u64)).collect())
+        .map(|(i, &s)| {
+            (0..n_params)
+                .map(|p| s.wrapping_mul(31).wrapping_add(p as u64 * 17 + i as u64))
+                .collect()
+        })
         .collect()
 }
 
@@ -45,10 +49,15 @@ fn same_behaviour(a: &Module, b: &Module, fname: &str) {
             }
             // Resource exhaustion may legitimately differ; semantic traps
             // (division, OOB) on *both* sides are outside the guarantee.
-            (Err(Trap::OutOfFuel | Trap::StackOverflow), _) | (_, Err(Trap::OutOfFuel | Trap::StackOverflow)) => {}
+            (Err(Trap::OutOfFuel | Trap::StackOverflow), _)
+            | (_, Err(Trap::OutOfFuel | Trap::StackOverflow)) => {}
             (Err(_), Err(_)) => {}
-            (Ok(_), Err(e)) => panic!("{fname}({args:?}): original succeeds but optimized traps: {e}"),
-            (Err(e), Ok(_)) => panic!("{fname}({args:?}): original traps ({e}) but optimized succeeds"),
+            (Ok(_), Err(e)) => {
+                panic!("{fname}({args:?}): original succeeds but optimized traps: {e}")
+            }
+            (Err(e), Ok(_)) => {
+                panic!("{fname}({args:?}): original traps ({e}) but optimized succeeds")
+            }
         }
     }
 }
