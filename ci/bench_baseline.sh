@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Regenerate the perf-baseline artifacts at the repo root:
 #
-#   BENCH_fig4.json   end-to-end pipeline: validated fraction + wall-clock
-#   BENCH_micro.json  micro-benchmarks: gating / import / validate medians
+#   BENCH_fig4.json     end-to-end pipeline: validated fraction + wall-clock
+#   BENCH_micro.json    micro-benchmarks: gating / import / validate medians
+#   BENCH_scaling.json  parallel engine throughput at 1/2/4/N workers
 #
 # Future PRs compare their numbers against the committed artifacts, so the
 # perf trajectory of the validator is mechanical to follow. Extra arguments
@@ -17,4 +18,7 @@ cargo run --release --offline -q -p llvm_md_bench --bin fig4_pipeline -- "$@"
 echo "==> micro-benchmarks (BENCH_micro.json)"
 cargo bench --offline -q -p llvm_md_bench
 
-echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json)"
+echo "==> engine scaling (BENCH_scaling.json)"
+cargo run --release --offline -q -p llvm_md_bench --bin fig4_scaling -- "$@"
+
+echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json)"

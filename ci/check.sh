@@ -34,6 +34,13 @@ if [[ $fast -eq 0 ]]; then
     echo "---- example $e"
     cargo run --release --offline -q --example "$e" > /dev/null
   done
+
+  echo "==> parallel engine smoke (2 workers)"
+  # Exercise the ValidationEngine worker pool on every gate: a small-scale
+  # fig4_scaling run at exactly 2 workers (artifact goes to a throwaway dir
+  # so the committed BENCH_scaling.json baseline is not clobbered).
+  BENCH_OUT_DIR="$(mktemp -d)" cargo run --release --offline -q -p llvm_md_bench \
+    --bin fig4_scaling -- --scale 16 --workers 2 --repeats 1 > /dev/null
 fi
 
 echo "OK: all checks passed"

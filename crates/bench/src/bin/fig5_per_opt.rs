@@ -43,7 +43,10 @@ fn main() {
     for (p, m) in suite(scale) {
         print!("{:12}", p.name);
         for (i, (pass, _)) in PASSES.iter().enumerate() {
-            let report = run_single_pass(&m, pass, &validator);
+            let report = run_single_pass(&m, pass, &validator).unwrap_or_else(|e| {
+                eprintln!("fig5_per_opt: {e}");
+                std::process::exit(2);
+            });
             let (t, v) = (report.transformed(), report.validated());
             totals[i].0 += t;
             totals[i].1 += v;

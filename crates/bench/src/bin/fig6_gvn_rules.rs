@@ -29,7 +29,10 @@ fn main() {
         let mut row = format!("{:12}", p.name);
         for step in 1..=6 {
             let v = Validator { rules: RuleSet::fig6_step(step), ..Validator::new() };
-            let report = run_single_pass(&m, "gvn", &v);
+            let report = run_single_pass(&m, "gvn", &v).unwrap_or_else(|e| {
+                eprintln!("fig6_gvn_rules: {e}");
+                std::process::exit(2);
+            });
             totals[step - 1].0 += report.transformed();
             totals[step - 1].1 += report.validated();
             if step == 1 {

@@ -29,7 +29,10 @@ fn main() {
         let mut row = format!("{:12}", p.name);
         for (i, (_, rules)) in configs.iter().enumerate() {
             let v = Validator { rules: *rules, ..Validator::new() };
-            let report = run_single_pass(&m, "licm", &v);
+            let report = run_single_pass(&m, "licm", &v).unwrap_or_else(|e| {
+                eprintln!("fig7_licm_rules: {e}");
+                std::process::exit(2);
+            });
             totals[i].0 += report.transformed();
             totals[i].1 += report.validated();
             if i == 0 {

@@ -27,7 +27,10 @@ fn main() {
         let mut row = format!("{:12}", p.name);
         for step in 1..=4 {
             let v = Validator { rules: RuleSet::fig8_step(step), ..Validator::new() };
-            let report = run_single_pass(&m, "sccp", &v);
+            let report = run_single_pass(&m, "sccp", &v).unwrap_or_else(|e| {
+                eprintln!("fig8_sccp_rules: {e}");
+                std::process::exit(2);
+            });
             totals[step - 1].0 += report.transformed();
             totals[step - 1].1 += report.validated();
             if step == 1 {

@@ -7,6 +7,7 @@
 //! |---|---|---|
 //! | Table 1 | `table1_suite` | per-benchmark size / LOC / #functions, paper vs generated |
 //! | Fig. 4 | `fig4_pipeline` | % functions validated under the full pipeline, per benchmark, plus wall-clock times (§5.1) |
+//! | scaling | `fig4_scaling` | parallel-engine throughput over the pinned suite at 1/2/4/N workers (see `ValidationEngine`) |
 //! | Fig. 5 | `fig5_per_opt` | per-optimization transformed/validated counts per benchmark |
 //! | Fig. 6 | `fig6_gvn_rules` | GVN validation % as rule groups accumulate |
 //! | Fig. 7 | `fig7_licm_rules` | LICM validation %, no rules vs all rules vs +libc |
@@ -28,7 +29,7 @@ pub mod json;
 pub mod timing;
 
 use lir::func::Module;
-use llvm_md_workload::{generate, profiles, Profile};
+use llvm_md_workload::Profile;
 use std::path::PathBuf;
 
 /// Parse a `--scale N` argument (default 4).
@@ -42,16 +43,11 @@ pub fn scale_from_args() -> usize {
         .unwrap_or(4)
 }
 
-/// The benchmark suite at `1/scale` of the profile function counts.
+/// The benchmark suite at `1/scale` of the profile function counts (a
+/// re-export of `llvm_md_workload::generate_suite`, which also backs the
+/// driver's corpus batching).
 pub fn suite(scale: usize) -> Vec<(Profile, Module)> {
-    profiles()
-        .into_iter()
-        .map(|mut p| {
-            p.functions = (p.functions / scale).max(5);
-            let m = generate(&p);
-            (p, m)
-        })
-        .collect()
+    llvm_md_workload::generate_suite(scale)
 }
 
 /// Render `validated/transformed` as a percentage (100% when nothing was

@@ -45,4 +45,4 @@ pub mod validate;
 pub use cycles::MatchStrategy;
 pub use graph::SharedGraph;
 pub use rules::{RewriteCounts, RuleBudgets, RuleSet};
-pub use validate::{validate, FailReason, Limits, ValidationStats, Validator, Verdict};
+pub use validate::{validate, Deadline, FailReason, Limits, ValidationStats, Validator, Verdict};

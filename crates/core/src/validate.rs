@@ -8,6 +8,33 @@ use gated_ssa::{GateError, GatedFunction};
 use lir::func::Function;
 use std::time::{Duration, Instant};
 
+/// A wall-clock budget for one validation query, started once and shared by
+/// every phase of the query — gating, graph import, and normalization all
+/// charge against the same clock, so a query cannot exceed
+/// [`Limits::max_time`] by splitting the work across phases.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn starting_now(budget: Duration) -> Deadline {
+        Deadline { start: Instant::now(), budget }
+    }
+
+    /// Has the budget been exhausted?
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.budget
+    }
+
+    /// Wall-clock time since the deadline was started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
 /// Resource limits for one validation query.
 #[derive(Clone, Copy, Debug)]
 pub struct Limits {
@@ -56,6 +83,13 @@ pub enum FailReason {
     RootsDiffer,
     /// A resource limit was hit.
     Budget,
+    /// The optimized module has no function of this name — the optimizer
+    /// dropped or renamed it (a driver-level pairing alarm; there is nothing
+    /// to validate against).
+    MissingFunction,
+    /// The optimized module has a function the original module lacks (a
+    /// driver-level pairing alarm).
+    ExtraFunction,
 }
 
 impl std::fmt::Display for FailReason {
@@ -65,6 +99,8 @@ impl std::fmt::Display for FailReason {
             FailReason::Signature => f.write_str("signature mismatch"),
             FailReason::RootsDiffer => f.write_str("normalized roots differ"),
             FailReason::Budget => f.write_str("resource budget exhausted"),
+            FailReason::MissingFunction => f.write_str("function missing from optimized module"),
+            FailReason::ExtraFunction => f.write_str("function absent from original module"),
         }
     }
 }
@@ -113,38 +149,60 @@ impl Validator {
     /// Validate that `optimized` preserves the semantics of `original`.
     ///
     /// The functions must have the same signature (they are the same
-    /// function before and after optimization).
+    /// function before and after optimization). The whole query — gating
+    /// *and* normalization — runs under one [`Deadline`] of
+    /// [`Limits::max_time`], so expensive gating eats into the
+    /// normalization budget instead of extending it.
     pub fn validate(&self, original: &Function, optimized: &Function) -> Verdict {
-        let start = Instant::now();
+        let deadline = Deadline::starting_now(self.limits.max_time);
         let mut stats = ValidationStats::default();
         let sig = |f: &Function| (f.ret, f.params.iter().map(|&(_, t)| t).collect::<Vec<_>>());
         if sig(original) != sig(optimized) {
-            stats.duration = start.elapsed();
+            stats.duration = deadline.elapsed();
             return Verdict::fail(FailReason::Signature, stats);
         }
         let go = match gated_ssa::build(original) {
             Ok(g) => g,
             Err(e) => {
-                stats.duration = start.elapsed();
+                stats.duration = deadline.elapsed();
                 return Verdict::fail(FailReason::Gate(e), stats);
             }
         };
         let gt = match gated_ssa::build(optimized) {
             Ok(g) => g,
             Err(e) => {
-                stats.duration = start.elapsed();
+                stats.duration = deadline.elapsed();
                 return Verdict::fail(FailReason::Gate(e), stats);
             }
         };
-        let mut v = self.validate_gated(&go, &gt);
-        v.stats.duration = start.elapsed();
+        if deadline.expired() {
+            stats.duration = deadline.elapsed();
+            return Verdict::fail(FailReason::Budget, stats);
+        }
+        let mut v = self.validate_gated_with_deadline(&go, &gt, &deadline);
+        v.stats.duration = deadline.elapsed();
         v
     }
 
     /// Validate two already-gated functions (exposed for benchmarks that
-    /// want to separate gating time from normalization time).
+    /// want to separate gating time from normalization time). The query
+    /// gets a fresh [`Deadline`] of [`Limits::max_time`]; callers that
+    /// already spent budget on gating should use
+    /// [`Validator::validate_gated_with_deadline`] instead.
     pub fn validate_gated(&self, original: &GatedFunction, optimized: &GatedFunction) -> Verdict {
-        let start = Instant::now();
+        let deadline = Deadline::starting_now(self.limits.max_time);
+        self.validate_gated_with_deadline(original, optimized, &deadline)
+    }
+
+    /// Validate two already-gated functions against an externally-started
+    /// deadline, so gating and normalization share one wall-clock budget.
+    /// Every exit path populates the stats (`nodes_initial`, `duration`).
+    pub fn validate_gated_with_deadline(
+        &self,
+        original: &GatedFunction,
+        optimized: &GatedFunction,
+        deadline: &Deadline,
+    ) -> Verdict {
         let mut budgets = RuleBudgets { unswitches: self.limits.unswitch_budget };
         let mut stats = ValidationStats::default();
         let mut g = SharedGraph::new();
@@ -157,13 +215,15 @@ impl Validator {
         };
         let (ret_o, mem_o) = root(original, &mo);
         let (ret_t, mem_t) = root(optimized, &mt);
-        if ret_o.is_some() != ret_t.is_some() {
-            return Verdict::fail(FailReason::RootsDiffer, stats);
-        }
+        stats.nodes_initial = g.len();
         let mut roots: Vec<gated_ssa::NodeId> = vec![mem_o, mem_t];
         roots.extend(ret_o);
         roots.extend(ret_t);
-        stats.nodes_initial = g.len();
+        if ret_o.is_some() != ret_t.is_some() {
+            stats.nodes_final = g.live_count(&roots);
+            stats.duration = deadline.elapsed();
+            return Verdict::fail(FailReason::RootsDiffer, stats);
+        }
 
         let equal = |g: &SharedGraph| -> bool {
             g.same(mem_o, mem_t)
@@ -180,9 +240,10 @@ impl Validator {
             }
             if stats.rounds >= self.limits.max_rounds
                 || g.len() >= self.limits.max_nodes
-                || start.elapsed() >= self.limits.max_time
+                || deadline.expired()
             {
                 stats.nodes_final = g.live_count(&roots);
+                stats.duration = deadline.elapsed();
                 return Verdict::fail(FailReason::Budget, stats);
             }
             let n = apply_rules(&mut g, &roots, &self.rules, &mut stats.rewrites, &mut budgets);
@@ -200,6 +261,7 @@ impl Validator {
             }
         }
         stats.nodes_final = g.live_count(&roots);
+        stats.duration = deadline.elapsed();
         if validated {
             Verdict { validated: true, reason: None, stats }
         } else {
@@ -221,6 +283,57 @@ mod tests {
 
     fn func(src: &str) -> Function {
         parse_module(src).expect("parse").functions.remove(0)
+    }
+
+    /// Compile-time audit: the driver's `ValidationEngine` shares one
+    /// `Validator` across `std::thread::scope` workers and sends `Verdict`s
+    /// back, so these must stay `Send + Sync` (plain-data configuration and
+    /// results, no interior mutability).
+    #[test]
+    fn validator_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Validator>();
+        assert_send_sync::<Limits>();
+        assert_send_sync::<Deadline>();
+        assert_send_sync::<Verdict>();
+        assert_send_sync::<FailReason>();
+        assert_send_sync::<ValidationStats>();
+    }
+
+    /// Every failure path must report how long the query ran and (when a
+    /// graph was built) how big it was — the paper's timing figures sum
+    /// per-query durations, so a zeroed duration under-counts.
+    #[test]
+    fn early_failures_populate_stats() {
+        let f = func("define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n");
+        let g = func("define void @f(i64 %a) {\nentry:\n  ret void\n}\n");
+        // Signature mismatch: no graph, but the clock must have been read.
+        let v = Validator::new().validate(&f, &g);
+        assert_eq!(v.reason, Some(FailReason::Signature));
+        assert!(v.stats.duration > Duration::ZERO, "signature failure must time itself");
+        // Root-arity mismatch straight through the gated entry point: the
+        // graph was imported, so nodes_initial and duration must be set.
+        let gf = gated_ssa::build(&f).expect("reducible");
+        let gg = gated_ssa::build(&g).expect("reducible");
+        let v = Validator::new().validate_gated(&gf, &gg);
+        assert_eq!(v.reason, Some(FailReason::RootsDiffer));
+        assert!(v.stats.nodes_initial > 0, "root-arity failure must count imported nodes");
+        assert!(v.stats.duration > Duration::ZERO, "root-arity failure must time itself");
+    }
+
+    /// Gating charges against the same budget as normalization: with an
+    /// already-expired deadline the query must fail `Budget` without
+    /// normalizing for another `max_time`.
+    #[test]
+    fn gating_time_counts_against_the_budget() {
+        let f = func("define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 3\n  ret i64 %x\n}\n");
+        let v = Validator {
+            limits: Limits { max_time: Duration::ZERO, ..Limits::default() },
+            ..Validator::new()
+        };
+        let verdict = v.validate(&f, &f);
+        assert!(!verdict.validated);
+        assert_eq!(verdict.reason, Some(FailReason::Budget));
     }
 
     #[test]

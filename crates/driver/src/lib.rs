@@ -18,10 +18,43 @@
 //! The driver also produces the per-function records behind the paper's
 //! evaluation: which functions the optimizer changed, which of those
 //! validated, per-rule rewrite counts and wall-clock times (Figs. 4–8).
+//!
+//! # Concurrency
+//!
+//! Per-function validation queries are independent, so the driver runs them
+//! through a [`ValidationEngine`]: a `std::thread::scope` worker pool
+//! (worker count configurable, default [`default_workers`]) that fans
+//! queries out over an atomic work queue and aggregates the
+//! [`FunctionRecord`]s back **in deterministic input order**. At
+//! `workers = 1` no threads are spawned and the report is identical to the
+//! historical serial driver; at any worker count the report differs only in
+//! wall-clock durations. The batched [`ValidationEngine::validate_corpus`]
+//! entry point streams whole corpora of modules through one pool
+//! (optimization parallel per module, validation parallel per function)
+//! for service-style throughput runs — see the `fig4_scaling` benchmark.
+//!
+//! # Function pairing
+//!
+//! Original and optimized functions are paired **by name**, not position:
+//! an optimizer that reorders, drops, or invents a function can no longer
+//! silently mispair the validation queries. A function missing from the
+//! optimized module is reported as a [`FailReason::MissingFunction`] alarm
+//! (and, in the certifying entry points, its original is spliced back into
+//! the output); a function the input never had is a
+//! [`FailReason::ExtraFunction`] alarm. Extra functions are *deliberately
+//! left in* the certified output: there is no original to splice over them,
+//! and removing them could dangle references from other output functions —
+//! the alarm record is the signal that the module contains code the
+//! validator never certified, and callers deciding to trust the output must
+//! check [`Report::alarms`] first (exactly as for any other alarm, where
+//! the paper's splice already restored the original).
 
 use lir::func::{Function, Module};
 use lir_opt::PassManager;
-use llvm_md_core::{FailReason, RewriteCounts, Validator};
+use llvm_md_core::{FailReason, RewriteCounts, Validator, Verdict};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// The outcome of optimizing-and-validating one function.
@@ -50,15 +83,35 @@ pub struct FunctionRecord {
     pub rounds: usize,
 }
 
+impl FunctionRecord {
+    /// True when both records carry the same timing-independent outcome:
+    /// every field except `duration`, which varies run to run even on one
+    /// thread. Validation itself is deterministic, so two runs over the
+    /// same inputs must agree on this projection regardless of worker
+    /// count.
+    pub fn same_outcome(&self, other: &FunctionRecord) -> bool {
+        self.name == other.name
+            && self.insts_before == other.insts_before
+            && self.insts_after == other.insts_after
+            && self.transformed == other.transformed
+            && self.validated == other.validated
+            && self.reason == other.reason
+            && self.rewrites == other.rewrites
+            && self.rounds == other.rounds
+    }
+}
+
 /// Aggregated results over a module (one bar of Fig. 4 / one column group of
 /// Fig. 5).
 #[derive(Clone, Debug, Default)]
 pub struct Report {
-    /// Per-function outcomes.
+    /// Per-function outcomes, in input-module order (records for functions
+    /// only present in the output module follow, in output order).
     pub records: Vec<FunctionRecord>,
     /// Total optimizer time.
     pub opt_time: Duration,
-    /// Total validation time.
+    /// Total validation time (the sum of per-query durations — CPU work,
+    /// not wall-clock, once the engine runs queries concurrently).
     pub validate_time: Duration,
 }
 
@@ -93,6 +146,14 @@ impl Report {
     pub fn total_rewrites(&self) -> u64 {
         self.records.iter().map(|r| r.rewrites.total()).sum()
     }
+
+    /// True when both reports carry the same records modulo wall-clock
+    /// timing (see [`FunctionRecord::same_outcome`]) — the determinism
+    /// contract between the serial driver and the parallel engine.
+    pub fn same_outcome(&self, other: &Report) -> bool {
+        self.records.len() == other.records.len()
+            && self.records.iter().zip(&other.records).all(|(a, b)| a.same_outcome(b))
+    }
 }
 
 /// True when the optimizer actually changed the function, modulo register
@@ -101,88 +162,388 @@ pub fn changed(before: &Function, after: &Function) -> bool {
     before.canonicalized() != after.canonicalized()
 }
 
-/// Run the `llvm-md` pipeline: optimize `input` with `pm`, validate every
-/// function with `validator`, and splice originals back over rejected
-/// transformations. Returns the certified module and the per-function
-/// report.
-pub fn llvm_md(input: &Module, pm: &PassManager, validator: &Validator) -> (Module, Report) {
-    let mut output = input.clone();
-    let mut report = Report::default();
-    let t0 = Instant::now();
-    pm.run_module(&mut output);
-    report.opt_time = t0.elapsed();
-    for (fi, fo) in input.functions.iter().zip(output.functions.iter_mut()) {
-        let transformed = changed(fi, fo);
-        let mut record = FunctionRecord {
-            name: fi.name.clone(),
-            insts_before: fi.inst_count(),
-            insts_after: fo.inst_count(),
-            transformed,
-            validated: true,
-            reason: None,
-            duration: Duration::ZERO,
-            rewrites: RewriteCounts::default(),
-            rounds: 0,
-        };
-        if transformed {
-            let verdict = validator.validate(fi, fo);
-            record.validated = verdict.validated;
-            record.reason = verdict.reason;
-            record.duration = verdict.stats.duration;
-            record.rewrites = verdict.stats.rewrites;
-            record.rounds = verdict.stats.rounds;
-            report.validate_time += verdict.stats.duration;
-            if !verdict.validated {
-                // The paper's splice: keep the unoptimized original.
-                *fo = fi.clone();
+/// `run_single_pass` was asked for a pass name `pass_by_name` doesn't know.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownPass(pub String);
+
+impl std::fmt::Display for UnknownPass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown pass `{}` (see lir_opt::pass_by_name for the registry)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownPass {}
+
+/// The default worker count: `std::thread::available_parallelism`, or 1
+/// when the platform can't say.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// One name-paired validation query: which record it reports into and which
+/// input/output functions it compares.
+struct PairJob {
+    slot: usize,
+    in_idx: usize,
+    out_idx: usize,
+}
+
+/// The result of pairing an input module against an optimizer's output:
+/// pre-filled records (input order, then output-only extras), the
+/// transformed pairs still to validate, and the input functions the output
+/// dropped (for the certifying splice-back).
+struct Pairing {
+    records: Vec<FunctionRecord>,
+    jobs: Vec<PairJob>,
+    dropped: Vec<usize>,
+}
+
+fn blank_record(name: &str, insts_before: usize, insts_after: usize) -> FunctionRecord {
+    FunctionRecord {
+        name: name.to_owned(),
+        insts_before,
+        insts_after,
+        transformed: false,
+        validated: true,
+        reason: None,
+        duration: Duration::ZERO,
+        rewrites: RewriteCounts::default(),
+        rounds: 0,
+    }
+}
+
+/// Pair `input` against `output` by function name. Records keep input-module
+/// order; output-only functions append in output order, so the result is
+/// deterministic for a given pair of modules. Duplicate names on either
+/// side pair positionally among themselves (first input copy ↔ first output
+/// copy, …); every unmatched copy still gets a missing/extra alarm record —
+/// nothing is silently skipped.
+fn pair_functions(input: &Module, output: &Module) -> Pairing {
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::with_capacity(output.functions.len());
+    for (i, f) in output.functions.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+    let mut records = Vec::with_capacity(input.functions.len());
+    let mut jobs = Vec::new();
+    let mut dropped = Vec::new();
+    for (in_idx, fi) in input.functions.iter().enumerate() {
+        let next_with_name = by_name.get_mut(fi.name.as_str()).and_then(|idxs| {
+            if idxs.is_empty() {
+                None
+            } else {
+                Some(idxs.remove(0))
+            }
+        });
+        match next_with_name {
+            Some(out_idx) => {
+                let fo = &output.functions[out_idx];
+                let transformed = changed(fi, fo);
+                let mut rec = blank_record(&fi.name, fi.inst_count(), fo.inst_count());
+                rec.transformed = transformed;
+                if transformed {
+                    jobs.push(PairJob { slot: records.len(), in_idx, out_idx });
+                }
+                records.push(rec);
+            }
+            None => {
+                // The optimizer dropped (or renamed) this function: there is
+                // nothing to validate against — alarm, never silently skip.
+                let mut rec = blank_record(&fi.name, fi.inst_count(), 0);
+                rec.transformed = true;
+                rec.validated = false;
+                rec.reason = Some(FailReason::MissingFunction);
+                dropped.push(in_idx);
+                records.push(rec);
             }
         }
-        report.records.push(record);
     }
-    (output, report)
+    // Whatever is left in the map never existed in the input (including
+    // surplus same-name duplicates): alarm on each, in output order.
+    let mut extra: Vec<usize> = by_name.into_values().flatten().collect();
+    extra.sort_unstable();
+    for out_idx in extra {
+        let fo = &output.functions[out_idx];
+        let mut rec = blank_record(&fo.name, 0, fo.inst_count());
+        rec.transformed = true;
+        rec.validated = false;
+        rec.reason = Some(FailReason::ExtraFunction);
+        records.push(rec);
+    }
+    Pairing { records, jobs, dropped }
+}
+
+/// A parallel validation engine: a scoped worker pool that fans independent
+/// per-function queries out over an atomic work queue.
+///
+/// The engine is configuration only (a worker count) — it holds no threads
+/// between calls, so it is `Copy` and trivially `Send + Sync`; each entry
+/// point spawns its scoped workers, drains the queue, and joins before
+/// returning. Results are always aggregated in deterministic input order,
+/// and at `workers = 1` every entry point degenerates to the exact
+/// historical serial loop (no threads spawned at all).
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationEngine {
+    workers: usize,
+}
+
+impl Default for ValidationEngine {
+    fn default() -> Self {
+        ValidationEngine::new()
+    }
+}
+
+impl ValidationEngine {
+    /// An engine with [`default_workers`] workers.
+    pub fn new() -> ValidationEngine {
+        ValidationEngine::with_workers(default_workers())
+    }
+
+    /// An engine with an explicit worker count (clamped to ≥ 1).
+    pub fn with_workers(workers: usize) -> ValidationEngine {
+        ValidationEngine { workers: workers.max(1) }
+    }
+
+    /// The strictly-serial engine (`workers = 1`): byte-identical reports to
+    /// the historical serial driver.
+    pub fn serial() -> ValidationEngine {
+        ValidationEngine::with_workers(1)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `items` on the worker pool; results come back in item
+    /// order. Workers pull from an atomic queue so long queries don't stall
+    /// the rest of the batch behind a static partition. With one worker (or
+    /// one item) the map runs inline on the calling thread.
+    fn run_jobs<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            done.push((i, f(&items[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("validation worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots.into_iter().map(|r| r.expect("work queue covered every job")).collect()
+    }
+
+    /// Validate the paired jobs of one or more modules on the pool. Each
+    /// job is `(input module, output module, pairing job)`.
+    fn validate_jobs(
+        &self,
+        jobs: &[(&Module, &Module, PairJob)],
+        validator: &Validator,
+    ) -> Vec<Verdict> {
+        self.run_jobs(jobs, |(input, output, job)| {
+            validator.validate(&input.functions[job.in_idx], &output.functions[job.out_idx])
+        })
+    }
+
+    /// Fold verdicts back into their records; returns the summed validation
+    /// time and splices rejected functions when `splice` carries the output.
+    fn merge_verdicts(
+        records: &mut [FunctionRecord],
+        jobs: &[PairJob],
+        verdicts: Vec<Verdict>,
+        input: &Module,
+        mut splice: Option<&mut Module>,
+    ) -> Duration {
+        let mut total = Duration::ZERO;
+        for (job, v) in jobs.iter().zip(verdicts) {
+            let rec = &mut records[job.slot];
+            rec.validated = v.validated;
+            rec.reason = v.reason;
+            rec.duration = v.stats.duration;
+            rec.rewrites = v.stats.rewrites;
+            rec.rounds = v.stats.rounds;
+            total += v.stats.duration;
+            if !rec.validated {
+                if let Some(output) = splice.as_deref_mut() {
+                    // The paper's splice: keep the unoptimized original.
+                    output.functions[job.out_idx] = input.functions[job.in_idx].clone();
+                }
+            }
+        }
+        total
+    }
+
+    /// Restore functions the optimizer dropped: append the originals to the
+    /// certified output (their records already alarm `MissingFunction`).
+    fn restore_dropped(input: &Module, output: &mut Module, dropped: &[usize]) {
+        for &in_idx in dropped {
+            output.functions.push(input.functions[in_idx].clone());
+        }
+    }
+
+    /// Run the `llvm-md` pipeline: optimize `input` with `pm`, validate
+    /// every transformed function on the pool, and splice originals back
+    /// over rejected transformations (including functions the optimizer
+    /// dropped outright). Returns the certified module and the per-function
+    /// report.
+    pub fn llvm_md(
+        &self,
+        input: &Module,
+        pm: &PassManager,
+        validator: &Validator,
+    ) -> (Module, Report) {
+        let mut output = input.clone();
+        let t0 = Instant::now();
+        pm.run_module(&mut output);
+        let opt_time = t0.elapsed();
+        let Pairing { mut records, jobs, dropped } = pair_functions(input, &output);
+        let job_refs: Vec<(&Module, &Module, PairJob)> = {
+            // The pool borrows input and output immutably; splicing happens
+            // after the barrier, so re-borrow per job.
+            let out_ref: &Module = &output;
+            jobs.into_iter().map(|j| (input, out_ref, j)).collect()
+        };
+        let verdicts = self.validate_jobs(&job_refs, validator);
+        let jobs: Vec<PairJob> = job_refs.into_iter().map(|(_, _, j)| j).collect();
+        let validate_time =
+            Self::merge_verdicts(&mut records, &jobs, verdicts, input, Some(&mut output));
+        Self::restore_dropped(input, &mut output, &dropped);
+        (output, Report { records, opt_time, validate_time })
+    }
+
+    /// Validate a pre-optimized pair of modules function-by-function on the
+    /// pool (used when the caller wants to control optimization
+    /// separately). No splicing: `output` is the caller's.
+    pub fn validate_modules(
+        &self,
+        input: &Module,
+        output: &Module,
+        validator: &Validator,
+    ) -> Report {
+        let Pairing { mut records, jobs, dropped: _ } = pair_functions(input, output);
+        let job_refs: Vec<(&Module, &Module, PairJob)> =
+            jobs.into_iter().map(|j| (input, output, j)).collect();
+        let verdicts = self.validate_jobs(&job_refs, validator);
+        let jobs: Vec<PairJob> = job_refs.into_iter().map(|(_, _, j)| j).collect();
+        let validate_time = Self::merge_verdicts(&mut records, &jobs, verdicts, input, None);
+        Report { records, opt_time: Duration::ZERO, validate_time }
+    }
+
+    /// Run a single optimization pass (by paper abbreviation) and validate:
+    /// the per-optimization experiment of Fig. 5. Errors on an unknown pass
+    /// name instead of panicking.
+    pub fn run_single_pass(
+        &self,
+        input: &Module,
+        pass: &str,
+        validator: &Validator,
+    ) -> Result<Report, UnknownPass> {
+        let p = lir_opt::pass_by_name(pass).ok_or_else(|| UnknownPass(pass.to_owned()))?;
+        let mut pm = PassManager::new();
+        pm.add(p);
+        Ok(self.llvm_md(input, &pm, validator).1)
+    }
+
+    /// Stream a whole corpus of modules through the pool: optimize each
+    /// module (modules are independent work units), then validate **every
+    /// transformed function of every module** as one flat batch, so queries
+    /// from different modules interleave freely and the pool never idles on
+    /// a module boundary. Returns the certified module and report per
+    /// input, in input order — each report identical to what
+    /// [`ValidationEngine::llvm_md`] would produce for that module alone
+    /// (modulo wall-clock durations).
+    pub fn validate_corpus(
+        &self,
+        inputs: &[Module],
+        pm: &PassManager,
+        validator: &Validator,
+    ) -> Vec<(Module, Report)> {
+        // Stage 1: optimize, one work unit per module.
+        let optimized: Vec<(Module, Duration)> = self.run_jobs(inputs, |m| {
+            let mut out = m.clone();
+            let t0 = Instant::now();
+            pm.run_module(&mut out);
+            (out, t0.elapsed())
+        });
+        // Stage 2: pair every module, flatten all queries into one batch.
+        let mut pairings: Vec<Pairing> = Vec::with_capacity(inputs.len());
+        let mut flat: Vec<(&Module, &Module, PairJob)> = Vec::new();
+        let mut job_module: Vec<usize> = Vec::new();
+        for (mi, (input, (output, _))) in inputs.iter().zip(&optimized).enumerate() {
+            let mut pairing = pair_functions(input, output);
+            for job in pairing.jobs.drain(..) {
+                flat.push((input, output, job));
+                job_module.push(mi);
+            }
+            pairings.push(pairing);
+        }
+        let verdicts = self.validate_jobs(&flat, validator);
+        // Stage 3: demultiplex verdicts back per module, splice, report.
+        let mut per_module: Vec<(Vec<PairJob>, Vec<Verdict>)> =
+            (0..inputs.len()).map(|_| (Vec::new(), Vec::new())).collect();
+        for ((mi, (_, _, job)), verdict) in job_module.into_iter().zip(flat).zip(verdicts) {
+            per_module[mi].0.push(job);
+            per_module[mi].1.push(verdict);
+        }
+        let mut results = Vec::with_capacity(inputs.len());
+        for (((input, (mut output, opt_time)), pairing), (jobs, verdicts)) in
+            inputs.iter().zip(optimized).zip(pairings).zip(per_module)
+        {
+            let mut records = pairing.records;
+            let validate_time =
+                Self::merge_verdicts(&mut records, &jobs, verdicts, input, Some(&mut output));
+            Self::restore_dropped(input, &mut output, &pairing.dropped);
+            results.push((output, Report { records, opt_time, validate_time }));
+        }
+        results
+    }
+}
+
+/// Run the `llvm-md` pipeline serially (the historical entry point — a thin
+/// wrapper over [`ValidationEngine::llvm_md`] at `workers = 1`).
+pub fn llvm_md(input: &Module, pm: &PassManager, validator: &Validator) -> (Module, Report) {
+    ValidationEngine::serial().llvm_md(input, pm, validator)
 }
 
 /// Run a single optimization pass (by paper abbreviation) over the module
 /// and validate each function: the per-optimization experiment of Fig. 5.
-///
-/// # Panics
-///
-/// Panics when `pass` is not a known pass name.
-pub fn run_single_pass(input: &Module, pass: &str, validator: &Validator) -> Report {
-    let mut pm = PassManager::new();
-    pm.add(lir_opt::pass_by_name(pass).unwrap_or_else(|| panic!("unknown pass {pass}")));
-    llvm_md(input, &pm, validator).1
+/// Returns `Err(UnknownPass)` when `pass` is not a known pass name.
+pub fn run_single_pass(
+    input: &Module,
+    pass: &str,
+    validator: &Validator,
+) -> Result<Report, UnknownPass> {
+    ValidationEngine::serial().run_single_pass(input, pass, validator)
 }
 
 /// Validate a pre-optimized pair of modules function-by-function (used when
 /// the caller wants to control optimization separately).
 pub fn validate_modules(input: &Module, output: &Module, validator: &Validator) -> Report {
-    let mut report = Report::default();
-    for (fi, fo) in input.functions.iter().zip(output.functions.iter()) {
-        let transformed = changed(fi, fo);
-        let mut record = FunctionRecord {
-            name: fi.name.clone(),
-            insts_before: fi.inst_count(),
-            insts_after: fo.inst_count(),
-            transformed,
-            validated: true,
-            reason: None,
-            duration: Duration::ZERO,
-            rewrites: RewriteCounts::default(),
-            rounds: 0,
-        };
-        if transformed {
-            let verdict = validator.validate(fi, fo);
-            record.validated = verdict.validated;
-            record.reason = verdict.reason;
-            record.duration = verdict.stats.duration;
-            record.rewrites = verdict.stats.rewrites;
-            record.rounds = verdict.stats.rounds;
-            report.validate_time += verdict.stats.duration;
-        }
-        report.records.push(record);
-    }
-    report
+    ValidationEngine::serial().validate_modules(input, output, validator)
 }
 
 #[cfg(test)]
@@ -190,7 +551,7 @@ mod tests {
     use super::*;
     use lir::interp::{run, ExecConfig};
     use lir::parse::parse_module;
-    use lir_opt::paper_pipeline;
+    use lir_opt::{paper_pipeline, Ctx, Pass};
 
     fn module(src: &str) -> Module {
         parse_module(src).expect("parse")
@@ -257,9 +618,168 @@ mod tests {
              %s = sub i64 %a, %b\n  ret i64 %s\n\
              }\n",
         );
-        let report = run_single_pass(&m, "gvn", &Validator::new());
+        let report = run_single_pass(&m, "gvn", &Validator::new()).expect("known pass");
         let rec = &report.records[0];
         assert!(rec.transformed, "GVN merges the equivalent phis");
         assert!(rec.validated, "{:?}", rec.reason);
+    }
+
+    #[test]
+    fn unknown_pass_is_an_error_not_a_panic() {
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n");
+        let err = run_single_pass(&m, "no-such-pass", &Validator::new()).unwrap_err();
+        assert_eq!(err, UnknownPass("no-such-pass".to_owned()));
+        assert!(err.to_string().contains("no-such-pass"));
+    }
+
+    /// Two functions whose *positions* swap but whose names stay put must
+    /// pair by name: nothing was transformed, so nothing alarms.
+    #[test]
+    fn reordered_output_pairs_by_name() {
+        let m = module(
+            "define i64 @one(i64 %a) {\nentry:\n  %x = add i64 %a, 1\n  ret i64 %x\n}\n\
+             define i64 @two(i64 %a) {\nentry:\n  %x = add i64 %a, 2\n  ret i64 %x\n}\n",
+        );
+        let mut out = m.clone();
+        out.functions.reverse();
+        let report = validate_modules(&m, &out, &Validator::new());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.transformed(), 0, "name pairing must see identical functions");
+        // Records stay in input order regardless of output order.
+        assert_eq!(report.records[0].name, "one");
+        assert_eq!(report.records[1].name, "two");
+    }
+
+    /// A dropped function is an alarm, not a silent truncation.
+    #[test]
+    fn dropped_function_alarms_missing() {
+        let m = module(
+            "define i64 @keep(i64 %a) {\nentry:\n  ret i64 %a\n}\n\
+             define i64 @gone(i64 %a) {\nentry:\n  %x = add i64 %a, 1\n  ret i64 %x\n}\n",
+        );
+        let mut out = m.clone();
+        out.functions.pop();
+        let report = validate_modules(&m, &out, &Validator::new());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.alarms(), 1);
+        let gone = report.records.iter().find(|r| r.name == "gone").expect("recorded");
+        assert!(gone.transformed && !gone.validated);
+        assert_eq!(gone.reason, Some(FailReason::MissingFunction));
+    }
+
+    /// A function the input never had is an alarm too.
+    #[test]
+    fn extra_function_alarms() {
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n");
+        let out = module(
+            "define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n\
+             define i64 @ghost(i64 %a) {\nentry:\n  ret i64 %a\n}\n",
+        );
+        let report = validate_modules(&m, &out, &Validator::new());
+        assert_eq!(report.records.len(), 2);
+        let ghost = report.records.iter().find(|r| r.name == "ghost").expect("recorded");
+        assert_eq!(ghost.reason, Some(FailReason::ExtraFunction));
+        assert_eq!(report.alarms(), 1);
+    }
+
+    /// A duplicate-named output function (a buggy optimizer emitted two
+    /// copies of `@f`) pairs its first copy and alarms the surplus one as
+    /// `ExtraFunction` — never silently skips it.
+    #[test]
+    fn duplicate_named_output_functions_alarm() {
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n");
+        let mut out = m.clone();
+        let dup = out.functions[0].clone();
+        out.functions.push(dup);
+        let report = validate_modules(&m, &out, &Validator::new());
+        assert_eq!(report.records.len(), 2, "both copies recorded");
+        assert_eq!(report.records[0].name, "f");
+        assert!(!report.records[0].transformed, "first copy pairs with the input");
+        assert_eq!(report.records[1].reason, Some(FailReason::ExtraFunction));
+        assert_eq!(report.alarms(), 1);
+    }
+
+    /// A pass that renames every function makes each original "missing" and
+    /// each renamed copy "extra"; the certified output must restore the
+    /// originals.
+    struct RenameAll;
+    impl Pass for RenameAll {
+        fn name(&self) -> &'static str {
+            "rename-all"
+        }
+        fn run(&self, f: &mut Function, _ctx: &Ctx<'_>) -> bool {
+            f.name.push_str(".renamed");
+            true
+        }
+    }
+
+    #[test]
+    fn renamed_functions_alarm_and_originals_are_restored() {
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 1\n  ret i64 %x\n}\n");
+        let mut pm = PassManager::new();
+        pm.add(Box::new(RenameAll));
+        let (out, report) = llvm_md(&m, &pm, &Validator::new());
+        // One missing (f) + one extra (f.renamed), both alarms.
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.alarms(), 2);
+        assert_eq!(report.records[0].reason, Some(FailReason::MissingFunction));
+        assert_eq!(report.records[1].reason, Some(FailReason::ExtraFunction));
+        // The certified output still contains the original @f.
+        let restored = out.function("f").expect("dropped function restored");
+        assert!(!changed(&m.functions[0], restored));
+    }
+
+    /// The engine at any worker count reproduces the serial report and the
+    /// serial certified output.
+    #[test]
+    fn engine_matches_serial_driver() {
+        let m = module(
+            "define i64 @fold(i64 %a) {\n\
+             entry:\n  %x = add i64 3, 3\n  %y = mul i64 %a, %x\n  ret i64 %y\n\
+             }\n\
+             define i64 @dead(i64 %a) {\n\
+             entry:\n  %d = add i64 %a, 9\n  %u = mul i64 %d, %d\n  ret i64 %a\n\
+             }\n\
+             define i64 @id(i64 %a) {\nentry:\n  ret i64 %a\n}\n",
+        );
+        let v = Validator::new();
+        let pm = paper_pipeline();
+        let (serial_out, serial_rep) = llvm_md(&m, &pm, &v);
+        for workers in [1, 2, 4, 7] {
+            let engine = ValidationEngine::with_workers(workers);
+            assert_eq!(engine.workers(), workers);
+            let (out, rep) = engine.llvm_md(&m, &pm, &v);
+            assert!(serial_rep.same_outcome(&rep), "workers={workers}: report outcomes differ");
+            assert_eq!(
+                format!("{serial_out}"),
+                format!("{out}"),
+                "workers={workers}: certified modules differ"
+            );
+        }
+    }
+
+    /// `validate_corpus` over a batch equals per-module `llvm_md` runs.
+    #[test]
+    fn corpus_batch_matches_per_module_runs() {
+        let mods: Vec<Module> = [
+            "define i64 @a(i64 %x) {\nentry:\n  %y = add i64 3, 3\n  %z = mul i64 %x, %y\n  ret i64 %z\n}\n",
+            "define i64 @b(i64 %x) {\nentry:\n  %d = add i64 %x, 9\n  %u = mul i64 %d, %d\n  ret i64 %x\n}\n",
+            "define i64 @c(i64 %x) {\nentry:\n  ret i64 %x\n}\n",
+        ]
+        .iter()
+        .map(|s| module(s))
+        .collect();
+        let v = Validator::new();
+        let pm = paper_pipeline();
+        for workers in [1, 3] {
+            let engine = ValidationEngine::with_workers(workers);
+            let batch = engine.validate_corpus(&mods, &pm, &v);
+            assert_eq!(batch.len(), mods.len());
+            for (m, (out, rep)) in mods.iter().zip(&batch) {
+                let (serial_out, serial_rep) = llvm_md(m, &pm, &v);
+                assert!(serial_rep.same_outcome(rep), "workers={workers}: corpus report differs");
+                assert_eq!(format!("{serial_out}"), format!("{out}"));
+            }
+        }
     }
 }

@@ -66,8 +66,13 @@ pub trait Pass {
 }
 
 /// An ordered list of passes run function-by-function.
+///
+/// Passes are held as `Send + Sync` trait objects so a `PassManager` can be
+/// shared across the driver's validation worker threads (passes are
+/// stateless configuration; all mutable state lives in the function being
+/// optimized).
 pub struct PassManager {
-    passes: Vec<Box<dyn Pass>>,
+    passes: Vec<Box<dyn Pass + Send + Sync>>,
 }
 
 impl std::fmt::Debug for PassManager {
@@ -85,7 +90,7 @@ impl PassManager {
     }
 
     /// Append a pass.
-    pub fn add(&mut self, p: Box<dyn Pass>) -> &mut Self {
+    pub fn add(&mut self, p: Box<dyn Pass + Send + Sync>) -> &mut Self {
         self.passes.push(p);
         self
     }
@@ -134,7 +139,7 @@ impl Default for PassManager {
 ///
 /// Recognized names: `adce`, `gvn`, `sccp`, `licm`, `ld` (loop deletion),
 /// `lu` (loop unswitching), `dse`, `instcombine`, `mem2reg`, `simplifycfg`.
-pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
+pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass + Send + Sync>> {
     Some(match name {
         "adce" => Box::new(adce::Adce),
         "gvn" => Box::new(gvn::Gvn),

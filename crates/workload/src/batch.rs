@@ -1,0 +1,64 @@
+//! Corpus batching: assemble whole suites of modules as the unit of work
+//! the driver's batched `validate_corpus` entry point (and the
+//! `fig4_scaling` throughput benchmark) consume.
+//!
+//! The batching helpers are deliberately deterministic: the same scale
+//! always produces the same modules in the same order, so parallel and
+//! serial engine runs over a batch are comparable record-for-record.
+
+use crate::corpus::corpus_modules;
+use crate::gen::generate;
+use crate::profiles::{profiles, Profile};
+use lir::func::Module;
+
+/// The synthetic Table-1 suite at `1/scale` of each profile's function
+/// count (minimum 5 functions per benchmark), as `(profile, module)` pairs
+/// in profile order. `scale = 1` is the full suite; the figure binaries
+/// default to `scale = 4`.
+pub fn generate_suite(scale: usize) -> Vec<(Profile, Module)> {
+    profiles()
+        .into_iter()
+        .map(|mut p| {
+            p.functions = (p.functions / scale).max(5);
+            let m = generate(&p);
+            (p, m)
+        })
+        .collect()
+}
+
+/// The synthetic suite as a bare batch of modules (profile metadata
+/// dropped) — the input shape `ValidationEngine::validate_corpus` takes.
+pub fn suite_batch(scale: usize) -> Vec<Module> {
+    generate_suite(scale).into_iter().map(|(_, m)| m).collect()
+}
+
+/// The hand-written §3–§4 corpus as a batch of modules, in corpus order.
+/// Includes the `irreducible` entry — gating rejects it, which is exactly
+/// the kind of alarm a batch run must surface rather than skip.
+pub fn corpus_batch() -> Vec<Module> {
+    corpus_modules().into_iter().map(|(_, m)| m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_suite_scales_down() {
+        let s = generate_suite(50);
+        assert_eq!(s.len(), 12);
+        assert!(s.iter().all(|(p, m)| m.functions.len() == p.functions));
+        assert!(s.iter().all(|(p, _)| p.functions >= 5));
+    }
+
+    #[test]
+    fn batches_are_deterministic() {
+        let a = suite_batch(40);
+        let b = suite_batch(40);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x}"), format!("{y}"), "suite batch must be seed-stable");
+        }
+        assert_eq!(corpus_batch().len(), crate::corpus::corpus().len());
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`gen`] — the structured generator that turns a profile into a
 //!   verifier-clean, trap-free, reducible [`lir`] module;
 //! * [`corpus`] — the paper's §3–§4 running examples and targeted
-//!   stress-tests, hand-written in `lir` assembly.
+//!   stress-tests, hand-written in `lir` assembly;
+//! * [`batch`] — deterministic corpus/suite batching for the driver's
+//!   `validate_corpus` throughput entry point.
 //!
 //! # Example
 //!
@@ -24,11 +26,13 @@
 //! # Ok::<(), lir::verify::VerifyError>(())
 //! ```
 
+pub mod batch;
 pub mod corpus;
 pub mod gen;
 pub mod profiles;
 pub mod rng;
 
+pub use batch::{corpus_batch, generate_suite, suite_batch};
 pub use corpus::{corpus, corpus_modules};
 pub use gen::generate;
 pub use profiles::{profile, profiles, PaperRow, Profile};

@@ -107,7 +107,7 @@ fn unswitched_loop_rejects_cleanly_or_validates() {
     let m = corpus_modules().into_iter().find(|(n, _)| *n == "unswitch_loop").expect("present").1;
     let mut v = Validator::new();
     v.limits.unswitch_budget = 4;
-    let report = llvm_md::driver::run_single_pass(&m, "lu", &v);
+    let report = llvm_md::driver::run_single_pass(&m, "lu", &v).expect("known pass");
     let rec = &report.records[0];
     if rec.transformed && !rec.validated {
         assert!(
@@ -125,7 +125,8 @@ fn unswitched_loop_rejects_cleanly_or_validates() {
 #[test]
 fn dse_stack_validates() {
     let m = corpus_modules().into_iter().find(|(n, _)| *n == "dse_stack").expect("present").1;
-    let report = llvm_md::driver::run_single_pass(&m, "dse", &Validator::new());
+    let report =
+        llvm_md::driver::run_single_pass(&m, "dse", &Validator::new()).expect("known pass");
     let rec = &report.records[0];
     if rec.transformed {
         assert!(rec.validated, "{:?}", rec.reason);

@@ -47,7 +47,7 @@ fn fig5_gvn_transforms_most() {
     for pass in ["adce", "gvn", "sccp", "licm", "ld", "lu", "dse"] {
         let mut total = 0;
         for (_, m) in reduced_suite(10) {
-            total += run_single_pass(&m, pass, &validator).transformed();
+            total += run_single_pass(&m, pass, &validator).expect("known pass").transformed();
         }
         per_pass.push((pass, total));
     }
@@ -72,7 +72,7 @@ fn fig6_gvn_rules_monotone() {
         let mut t = 0;
         let mut ok = 0;
         for (_, m) in reduced_suite(10) {
-            let r = run_single_pass(&m, "gvn", &v);
+            let r = run_single_pass(&m, "gvn", &v).expect("known pass");
             t += r.transformed();
             ok += r.validated();
         }
@@ -96,7 +96,7 @@ fn fig7_licm_baseline_high_libc_helps() {
         let mut t = 0;
         let mut ok = 0;
         for (_, m) in reduced_suite(12) {
-            let r = run_single_pass(&m, "licm", &v);
+            let r = run_single_pass(&m, "licm", &v).expect("known pass");
             t += r.transformed();
             ok += r.validated();
         }
@@ -116,7 +116,7 @@ fn fig8_sccp_needs_constant_folding() {
         let mut t = 0;
         let mut ok = 0;
         for (_, m) in reduced_suite(10) {
-            let r = run_single_pass(&m, "sccp", &v);
+            let r = run_single_pass(&m, "sccp", &v).expect("known pass");
             t += r.transformed();
             ok += r.validated();
         }

@@ -266,6 +266,65 @@ fn gating_ignores_names() {
     });
 }
 
+/// The parallel engine is outcome-deterministic: at `workers ∈ {1, 4}` the
+/// certified module and the report must equal the serial driver's (modulo
+/// wall-clock durations, which `Report::same_outcome` excludes). Fewer
+/// cases than the default budget — each case optimizes and validates a
+/// whole generated module three times.
+#[test]
+fn parallel_engine_matches_serial_driver() {
+    use llvm_md::driver::ValidationEngine;
+    use llvm_md::opt::paper_pipeline;
+    harness::check("parallel_engine_matches_serial_driver", 12, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let mut p = profiles()[(seed % 12) as usize];
+        p.functions = 6;
+        p.seed = seed * 977 + 5;
+        let m = generate(&p);
+        let pm = paper_pipeline();
+        let v = Validator::new();
+        let (serial_out, serial_rep) = llvm_md::driver::llvm_md(&m, &pm, &v);
+        for workers in [1usize, 4] {
+            let (out, rep) = ValidationEngine::with_workers(workers).llvm_md(&m, &pm, &v);
+            ensure!(
+                serial_rep.same_outcome(&rep),
+                "workers={workers}: engine report diverged from the serial driver"
+            );
+            ensure_eq!(
+                format!("{serial_out}"),
+                format!("{out}"),
+                "workers={workers}: certified modules differ"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Corpus batching is outcome-deterministic too: streaming the hand-written
+/// corpus through `validate_corpus` at any worker count reproduces the
+/// per-module serial pipeline exactly.
+#[test]
+fn corpus_batching_matches_per_module_runs() {
+    use llvm_md::driver::ValidationEngine;
+    use llvm_md::opt::paper_pipeline;
+    use llvm_md::workload::corpus_batch;
+    let modules = corpus_batch();
+    let pm = paper_pipeline();
+    let v = Validator::new();
+    let reference: Vec<_> = modules.iter().map(|m| llvm_md::driver::llvm_md(m, &pm, &v)).collect();
+    for workers in [1usize, 4] {
+        let batch = ValidationEngine::with_workers(workers).validate_corpus(&modules, &pm, &v);
+        assert_eq!(batch.len(), reference.len());
+        for ((out, rep), (serial_out, serial_rep)) in batch.iter().zip(&reference) {
+            assert!(
+                serial_rep.same_outcome(rep),
+                "workers={workers}: corpus report diverged from per-module serial runs"
+            );
+            assert_eq!(format!("{serial_out}"), format!("{out}"), "workers={workers}");
+        }
+    }
+}
+
 #[test]
 fn replace_makes_new_structure_canonical() {
     let mut g = SharedGraph::new();

@@ -121,6 +121,52 @@ fn certified_output_always_behaves_like_input() {
     }
 }
 
+/// Pairing soundness: an output module whose functions were *reordered*
+/// must pair by name — identical functions pair with themselves (no
+/// transformations, no alarms), never with whatever happens to share their
+/// position.
+#[test]
+fn reordered_functions_pair_by_name_not_position() {
+    let mut profile = profiles()[3];
+    profile.functions = 8;
+    let m = generate(&profile);
+    let mut out = m.clone();
+    out.functions.reverse();
+    let report = llvm_md::driver::validate_modules(&m, &out, &Validator::new());
+    assert_eq!(report.records.len(), m.functions.len());
+    assert_eq!(
+        report.transformed(),
+        0,
+        "identical-but-reordered functions must pair by name, not mispair by position"
+    );
+    // Records keep input order.
+    for (rec, f) in report.records.iter().zip(&m.functions) {
+        assert_eq!(rec.name, f.name);
+    }
+}
+
+/// Pairing soundness: a *dropped* function is an alarm record, and the
+/// functions after the gap still pair correctly instead of shifting one
+/// position over.
+#[test]
+fn dropped_function_alarms_instead_of_mispairing() {
+    let mut profile = profiles()[3];
+    profile.functions = 8;
+    let m = generate(&profile);
+    let mut out = m.clone();
+    let dropped = out.functions.remove(2).name;
+    let report = llvm_md::driver::validate_modules(&m, &out, &Validator::new());
+    assert_eq!(report.records.len(), m.functions.len(), "dropped function still recorded");
+    assert_eq!(report.alarms(), 1, "exactly the dropped function alarms");
+    let rec = report.records.iter().find(|r| r.name == dropped).expect("alarm record");
+    assert!(rec.transformed && !rec.validated);
+    assert_eq!(rec.reason, Some(llvm_md::core::FailReason::MissingFunction));
+    // Every surviving function pairs with itself: no shifted mispairs.
+    for rec in report.records.iter().filter(|r| r.name != dropped) {
+        assert!(!rec.transformed, "{}: mispaired after the gap", rec.name);
+    }
+}
+
 /// Mutated optimizer output must never validate when the mutation is
 /// observable. (The mutation flips an `add` to a `sub` with a non-zero
 /// constant operand somewhere in a live position; if the validator accepts,
