@@ -4,6 +4,7 @@
 #   BENCH_fig4.json     end-to-end pipeline: validated fraction + wall-clock
 #   BENCH_micro.json    micro-benchmarks: gating / import / validate medians
 #   BENCH_scaling.json  parallel engine throughput at 1/2/4/N workers
+#   BENCH_triage.json   alarm-triage rates per rule-set ablation
 #
 # Future PRs compare their numbers against the committed artifacts, so the
 # perf trajectory of the validator is mechanical to follow. Extra arguments
@@ -21,4 +22,7 @@ cargo bench --offline -q -p llvm_md_bench
 echo "==> engine scaling (BENCH_scaling.json)"
 cargo run --release --offline -q -p llvm_md_bench --bin fig4_scaling -- "$@"
 
-echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json)"
+echo "==> alarm triage (BENCH_triage.json)"
+cargo run --release --offline -q -p llvm_md_bench --bin table2_triage -- "$@"
+
+echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json BENCH_triage.json)"

@@ -5,8 +5,8 @@
 # possible.
 #
 # Usage: ci/check.sh [--fast]
-#   --fast   skip the release build and the examples smoke test (quick
-#            inner-loop check: fmt + clippy + tests)
+#   --fast   skip the release build, the doc build and the examples/triage
+#            smoke tests (quick inner-loop check: fmt + clippy + tests)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +23,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 if [[ $fast -eq 0 ]]; then
   echo "==> cargo build --release"
   cargo build --workspace --all-targets --release --offline
+
+  echo "==> cargo doc (-D warnings)"
+  # Doc rot gates the PR: crates/core and crates/gated carry
+  # #![warn(missing_docs)], and RUSTDOCFLAGS promotes every rustdoc warning
+  # (missing docs, broken intra-doc links) to an error.
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 fi
 
 echo "==> cargo test"
@@ -30,7 +36,7 @@ cargo test -q --workspace --offline
 
 if [[ $fast -eq 0 ]]; then
   echo "==> examples smoke test"
-  for e in quickstart certify_pipeline catch_miscompilation rule_ablation; do
+  for e in quickstart certify_pipeline catch_miscompilation rule_ablation triage_alarm; do
     echo "---- example $e"
     cargo run --release --offline -q --example "$e" > /dev/null
   done
@@ -41,6 +47,24 @@ if [[ $fast -eq 0 ]]; then
   # so the committed BENCH_scaling.json baseline is not clobbered).
   BENCH_OUT_DIR="$(mktemp -d)" cargo run --release --offline -q -p llvm_md_bench \
     --bin fig4_scaling -- --scale 16 --workers 2 --repeats 1 > /dev/null
+
+  echo "==> triage smoke (injected bugs must be caught)"
+  # table2_triage asserts nothing by itself, so check its artifact: every
+  # ablation must report injected_caught == injected_bugs.
+  triage_dir="$(mktemp -d)"
+  BENCH_OUT_DIR="$triage_dir" cargo run --release --offline -q -p llvm_md_bench \
+    --bin table2_triage -- --scale 16 --battery 8 > /dev/null
+  python3 - "$triage_dir/BENCH_triage.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+for row in data["ablations"]:
+    assert row["injected_caught"] == row["injected_bugs"] > 0, \
+        f"triage missed a miscompile under rules {row['rules']!r}: {row}"
+    assert row["suite_real_miscompiles"] == 0, \
+        f"suite pair misclassified as miscompile under rules {row['rules']!r}"
+print(f"triage smoke OK: {data['ablations'][0]['injected_bugs']} bugs caught under "
+      f"{len(data['ablations'])} ablations")
+EOF
 fi
 
 echo "OK: all checks passed"

@@ -13,6 +13,7 @@
 //! | Fig. 7 | `fig7_licm_rules` | LICM validation %, no rules vs all rules vs +libc |
 //! | Fig. 8 | `fig8_sccp_rules` | SCCP validation % over its four rule configurations |
 //! | §5.4 | `ablation_cycle_matching` | unification vs partitioning vs combined |
+//! | Table 2 | `table2_triage` | alarm-triage rates per rule ablation: suite false alarms vs injected-bug catches |
 //!
 //! Micro-benchmarks (gating, normalization, end-to-end validation at
 //! several function sizes) live in `benches/micro.rs`, driven by the

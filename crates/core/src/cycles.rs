@@ -22,6 +22,34 @@ use gated_ssa::node::{Node, NodeId};
 use std::collections::HashMap;
 
 /// Which cycle-matching algorithm to use (§5.4 ablation).
+///
+/// # Example
+///
+/// μ-nodes are *nominal*: even two textually identical loops import as
+/// distinct cycles, so without a matching strategy the validator cannot
+/// prove a loop equal to itself — exactly the §5.4 ablation axis:
+///
+/// ```
+/// use lir::parse::parse_module;
+/// use llvm_md_core::{MatchStrategy, Validator};
+///
+/// let m = parse_module(
+///     "define i64 @f(i64 %n) {\n\
+///      entry:\n  br label %h\n\
+///      h:\n  %i = phi i64 [ 0, %entry ], [ %i2, %b ]\n\
+///      %c = icmp slt i64 %i, %n\n  br i1 %c, label %b, label %d\n\
+///      b:\n  %i2 = add i64 %i, 1\n  br label %h\n\
+///      d:\n  ret i64 %i\n\
+///      }\n",
+/// )?;
+/// let f = &m.functions[0];
+/// let with = |strategy| Validator { strategy, ..Validator::new() }.validate(f, f).validated;
+/// assert!(!with(MatchStrategy::None), "no matching: even identity alarms");
+/// assert!(with(MatchStrategy::Unification));
+/// assert!(with(MatchStrategy::Partition));
+/// assert!(with(MatchStrategy::Combined), "the paper's default");
+/// # Ok::<(), lir::parse::ParseError>(())
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum MatchStrategy {
     /// Pairwise speculative unification only.

@@ -318,14 +318,29 @@ impl SharedGraph {
 
     /// Render the canonical subgraph under `root` (cycles cut at μ).
     pub fn display(&self, root: NodeId) -> String {
+        self.display_capped(root, usize::MAX)
+    }
+
+    /// [`SharedGraph::display`] bounded to roughly `cap` bytes: rendering
+    /// stops descending once the output exceeds the cap and appends `…`.
+    /// Used for failure evidence (divergent roots) where the *shape* of a
+    /// term matters but an unbounded render of a large graph does not.
+    pub fn display_capped(&self, root: NodeId, cap: usize) -> String {
         let mut out = String::new();
         let mut on_path = vec![false; self.nodes.len()];
-        self.fmt_rec(self.find(root), &mut on_path, &mut out);
+        self.fmt_rec(self.find(root), &mut on_path, &mut out, cap);
+        if out.len() > cap {
+            out.truncate(cap);
+            out.push('…');
+        }
         out
     }
 
-    fn fmt_rec(&self, id: NodeId, on_path: &mut Vec<bool>, out: &mut String) {
+    fn fmt_rec(&self, id: NodeId, on_path: &mut Vec<bool>, out: &mut String, cap: usize) {
         use std::fmt::Write;
+        if out.len() > cap {
+            return;
+        }
         let id = self.find(id);
         let n = self.node(id).clone();
         if on_path[id.index()] {
@@ -352,7 +367,7 @@ impl SharedGraph {
                 }
                 n.for_each_child(|c| {
                     out.push(' ');
-                    self.fmt_rec(c, on_path, out);
+                    self.fmt_rec(c, on_path, out, cap);
                 });
                 out.push(')');
                 on_path[id.index()] = false;

@@ -14,7 +14,12 @@
 //!    round, with μ-[`cycles`] matched by speculative unification and/or
 //!    Hopcroft partitioning,
 //! 4. answers `true` iff both functions' ⟨return value, observable final
-//!    memory⟩ roots normalize to the same nodes ([`validate`]).
+//!    memory⟩ roots normalize to the same nodes ([`mod@validate`]),
+//! 5. and, on failure, **triages the alarm** ([`triage`]): differential
+//!    interpretation over a seeded input battery classifies it as a real
+//!    miscompilation (with a minimized, replayable witness) or a suspected
+//!    validator incompleteness (with the rewrite trace and the divergent
+//!    normalized roots) — the distinction the paper's evaluation measures.
 //!
 //! A `true` verdict means the optimized function has the same semantics for
 //! every terminating, non-trapping execution (the paper's guarantee, §2).
@@ -36,13 +41,19 @@
 //! # Ok::<(), lir::parse::ParseError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alias;
 pub mod cycles;
 pub mod graph;
 pub mod rules;
+pub mod triage;
 pub mod validate;
 
 pub use cycles::MatchStrategy;
 pub use graph::SharedGraph;
 pub use rules::{RewriteCounts, RuleBudgets, RuleSet};
-pub use validate::{validate, Deadline, FailReason, Limits, ValidationStats, Validator, Verdict};
+pub use triage::{Triage, TriageClass, TriageOptions, TriagedVerdict, Witness};
+pub use validate::{
+    validate, Deadline, DivergentRoots, FailReason, Limits, ValidationStats, Validator, Verdict,
+};

@@ -28,6 +28,39 @@ use lir::value::Constant;
 use std::collections::HashMap;
 
 /// Which rule groups are enabled. Mirrors the paper's ablation axes.
+///
+/// # Example
+///
+/// The paper's ablation groups assemble from these toggles: Figs. 6–8
+/// accumulate them cumulatively, and §5.3's libc knowledge is strictly
+/// opt-in. The §3.1 running example (`a*(3+3) + a*(3+3)` vs `(a*6) << 1`)
+/// needs the constant-folding group — with no rules, the same
+/// transformation is a (false) alarm:
+///
+/// ```
+/// use lir::parse::parse_module;
+/// use llvm_md_core::{RuleSet, Validator};
+///
+/// // Fig. 6 step 1 is no rules at all; step 3 adds φ + constant folding;
+/// // the paper default enables every general group but not libc/float.
+/// assert_eq!(RuleSet::fig6_step(1), RuleSet::none());
+/// assert!(RuleSet::fig6_step(3).constfold && !RuleSet::fig6_step(3).loadstore);
+/// assert!(RuleSet::all().phi && !RuleSet::all().libc);
+/// assert!(RuleSet::full().libc && RuleSet::full().float);
+///
+/// let orig = parse_module(
+///     "define i64 @f(i64 %a) {\nentry:\n  %x1 = add i64 3, 3\n  %x2 = mul i64 %a, %x1\n  %x3 = add i64 %x2, %x2\n  ret i64 %x3\n}\n",
+/// )?;
+/// let opt = parse_module(
+///     "define i64 @f(i64 %a) {\nentry:\n  %y1 = mul i64 %a, 6\n  %y2 = shl i64 %y1, 1\n  ret i64 %y2\n}\n",
+/// )?;
+/// let with = |rules| Validator { rules, ..Validator::new() }
+///     .validate(&orig.functions[0], &opt.functions[0])
+///     .validated;
+/// assert!(!with(RuleSet::none()), "no rules: false alarm");
+/// assert!(with(RuleSet::all()), "paper default: validated");
+/// # Ok::<(), lir::parse::ParseError>(())
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RuleSet {
     /// Boolean rules (1)–(4) and φ simplification (5)–(6).

@@ -1,0 +1,539 @@
+//! Alarm triage: classify every failed validation by differential
+//! interpretation.
+//!
+//! The paper's evaluation hinges on telling two kinds of alarm apart: a
+//! **false alarm** (the transformation is correct but the normalizer could
+//! not prove it — a validator incompleteness, §5) and a **real
+//! miscompilation** (the optimizer actually changed observable behaviour).
+//! The [`Verdict`] alone cannot distinguish them; this module can, by
+//! *running* both functions.
+//!
+//! Given an alarm, triage executes the original and the optimized function
+//! through the reference interpreter ([`lir::interp::run`]) over a seeded
+//! battery of generated inputs (the generator's type knowledge, driven by
+//! [`SplitMix64`]) and compares the observable outcomes ⟨return value,
+//! final global memory, external-call trace, trap behaviour⟩:
+//!
+//! * **any divergence** ⇒ [`TriageClass::RealMiscompile`], carrying a
+//!   [`Witness`]: a *minimized* input vector plus both observed outcomes,
+//!   replayable through the interpreter;
+//! * **agreement across the whole battery** ⇒
+//!   [`TriageClass::SuspectedIncomplete`], carrying the rewrite-rule trace
+//!   ([`RewriteCounts`]) and the first divergent normalized graph roots —
+//!   the evidence a rule author needs to close the incompleteness.
+//!
+//! Triage honours the validator's guarantee boundary: the paper's verdict
+//! promises equal semantics only for **terminating, non-trapping**
+//! executions of the original, so battery inputs on which the original
+//! traps are *skipped*, and resource exhaustion ([`Trap::OutOfFuel`],
+//! [`Trap::StackOverflow`]) on either side is never counted as divergence.
+//! A trap **introduced** by the optimized side on an input where the
+//! original runs clean *is* divergence.
+//!
+//! Classification is conservative in exactly one direction: a
+//! `RealMiscompile` verdict is always backed by a concrete, replayable
+//! witness, while `SuspectedIncomplete` means only that the battery found
+//! no divergence (a miscompilation that hides from every tried input is
+//! still classified as suspected-incomplete — differential testing cannot
+//! prove equivalence, only disprove it).
+//!
+//! # Example
+//!
+//! ```
+//! use lir::parse::parse_module;
+//! use llvm_md_core::triage::{TriageClass, TriageOptions};
+//! use llvm_md_core::Validator;
+//!
+//! let m = parse_module(
+//!     "define i64 @inc(i64 %a) {\nentry:\n  %x = add i64 %a, 1\n  ret i64 %x\n}\n",
+//! )?;
+//! // A "miscompiled" variant: the increment became +2.
+//! let bad = parse_module(
+//!     "define i64 @inc(i64 %a) {\nentry:\n  %x = add i64 %a, 2\n  ret i64 %x\n}\n",
+//! )?;
+//! let tv = Validator::new().validate_triaged(
+//!     &m,
+//!     &m.functions[0],
+//!     &bad.functions[0],
+//!     &TriageOptions::default(),
+//! );
+//! let triage = tv.triage.expect("alarm was triaged");
+//! assert_eq!(triage.class, TriageClass::RealMiscompile);
+//! let w = triage.witness.expect("real miscompiles carry a witness");
+//! assert_ne!(Ok(w.original), w.optimized);
+//! # Ok::<(), lir::parse::ParseError>(())
+//! ```
+
+use crate::rules::RewriteCounts;
+use crate::validate::{DivergentRoots, Validator, Verdict};
+use lir::func::{Function, Module};
+use lir::interp::{run, ExecConfig, Outcome, Trap};
+use lir::types::Ty;
+use llvm_md_workload::rng::SplitMix64;
+
+/// How an alarm was classified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriageClass {
+    /// The two functions observably diverge: the optimizer (or whatever
+    /// produced the optimized side) changed semantics. Always carries a
+    /// replayable [`Witness`].
+    RealMiscompile,
+    /// No divergence found across the battery: the alarm is suspected to be
+    /// a validator incompleteness (the paper's *false alarm*). Carries the
+    /// rewrite trace and the divergent normalized roots as debugging
+    /// evidence.
+    SuspectedIncomplete,
+}
+
+impl std::fmt::Display for TriageClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TriageClass::RealMiscompile => f.write_str("real miscompile"),
+            TriageClass::SuspectedIncomplete => f.write_str("suspected incompleteness"),
+        }
+    }
+}
+
+/// A concrete input on which the original and optimized functions
+/// observably diverge, plus what each side did. Replayable: running
+/// [`lir::interp::run`] over the environments from [`build_envs`] with
+/// `args` reproduces exactly these outcomes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Witness {
+    /// Raw-bit argument values, one per function parameter, minimized by
+    /// greedy per-coordinate shrinking (each coordinate is as simple as the
+    /// shrink budget could make it while preserving the divergence).
+    pub args: Vec<u64>,
+    /// The original function's outcome (always a clean run — inputs on
+    /// which the original traps are outside the validator's guarantee and
+    /// are skipped, never used as witnesses).
+    pub original: Outcome,
+    /// The optimized function's outcome: a different clean outcome, or a
+    /// trap the original did not have.
+    pub optimized: Result<Outcome, Trap>,
+}
+
+/// Configuration for one triage run.
+#[derive(Clone, Copy, Debug)]
+pub struct TriageOptions {
+    /// Seed for the input battery (mixed with the function name so sibling
+    /// functions get distinct but deterministic batteries).
+    pub seed: u64,
+    /// Number of input vectors to try before concluding agreement.
+    pub battery: usize,
+    /// Maximum additional interpreter pair-runs spent minimizing a witness.
+    pub shrink_budget: usize,
+    /// Interpreter instruction budget per run.
+    pub fuel: u64,
+    /// Interpreter call-depth limit per run.
+    pub max_depth: u32,
+}
+
+impl Default for TriageOptions {
+    fn default() -> Self {
+        TriageOptions {
+            seed: 0x7219_5eed_ba77_e121,
+            battery: 24,
+            shrink_budget: 128,
+            fuel: 100_000,
+            max_depth: 32,
+        }
+    }
+}
+
+/// The result of triaging one alarm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Triage {
+    /// Real miscompile or suspected validator incompleteness.
+    pub class: TriageClass,
+    /// The minimized diverging input — present iff `class` is
+    /// [`TriageClass::RealMiscompile`].
+    pub witness: Option<Witness>,
+    /// The rewrite-rule trace of the failed validation query (which rule
+    /// groups fired, and how often, before the roots still differed).
+    pub rewrites: RewriteCounts,
+    /// The first divergent normalized graph roots of the failed query, when
+    /// normalization reached a fixpoint (see
+    /// [`ValidationStats::divergent_roots`](crate::validate::ValidationStats::divergent_roots)).
+    pub divergent_roots: Option<DivergentRoots>,
+    /// Battery inputs actually compared (original ran clean on these).
+    pub inputs_run: usize,
+    /// Battery inputs skipped because the original trapped or either side
+    /// exhausted interpreter resources.
+    pub inputs_skipped: usize,
+}
+
+/// A [`Verdict`] plus, for alarms, its triage classification.
+#[derive(Clone, Debug)]
+pub struct TriagedVerdict {
+    /// The validation verdict.
+    pub verdict: Verdict,
+    /// `Some` iff the verdict is an alarm (`validated == false`).
+    pub triage: Option<Triage>,
+}
+
+impl TriagedVerdict {
+    /// Did the pair validate? (Validated pairs carry no triage.)
+    pub fn validated(&self) -> bool {
+        self.verdict.validated
+    }
+}
+
+/// Build the two interpretation environments for a function pair: `env`
+/// with the original spliced in under its own name, and `env` with the
+/// optimized function spliced in under the *original's* name (so both
+/// sides run against the same globals and the same — original — sibling
+/// functions, isolating the transformation under test).
+pub fn build_envs(env: &Module, original: &Function, optimized: &Function) -> (Module, Module) {
+    let splice = |f: &Function| {
+        let mut m = env.clone();
+        let mut f = f.clone();
+        f.name = original.name.clone();
+        match m.functions.iter().position(|g| g.name == original.name) {
+            Some(i) => m.functions[i] = f,
+            None => m.functions.push(f),
+        }
+        m
+    };
+    (splice(original), splice(optimized))
+}
+
+/// What one battery input showed.
+enum Probe {
+    /// Original trapped, or resources ran out: outside the guarantee.
+    Skip,
+    /// Both sides produced the same observable outcome.
+    Agree,
+    /// Observable divergence: the original's clean outcome vs the
+    /// optimized side's outcome.
+    Diverge(Outcome, Result<Outcome, Trap>),
+}
+
+/// Run both sides on `args` and compare observable outcomes.
+fn probe(
+    orig_env: &Module,
+    opt_env: &Module,
+    fname: &str,
+    args: &[u64],
+    cfg: &ExecConfig,
+) -> Probe {
+    let a = match run(orig_env, fname, args, cfg) {
+        Ok(out) => out,
+        // Any trap on the original side — semantic or resource — is outside
+        // the validator's guarantee ("terminating, non-trapping").
+        Err(_) => return Probe::Skip,
+    };
+    match run(opt_env, fname, args, cfg) {
+        // Resource exhaustion is never semantic evidence.
+        Err(Trap::OutOfFuel | Trap::StackOverflow) => Probe::Skip,
+        Err(t) => Probe::Diverge(a, Err(t)),
+        Ok(b) if a != b => Probe::Diverge(a, Ok(b)),
+        Ok(_) => Probe::Agree,
+    }
+}
+
+/// Sample one argument of type `ty`. Corner rows (0..4) are fixed
+/// broadcast values; later rows draw from the seeded stream with a bias
+/// toward boundary-shaped integers.
+fn sample_arg(ty: Ty, row: usize, rng: &mut SplitMix64) -> u64 {
+    const CORNERS: [u64; 4] = [0, 1, 2, u64::MAX];
+    match ty {
+        Ty::I1 => {
+            if row < CORNERS.len() {
+                CORNERS[row] & 1
+            } else {
+                rng.gen_range(0..=1u64)
+            }
+        }
+        Ty::I8 | Ty::I16 | Ty::I32 | Ty::I64 => {
+            let raw = if row < CORNERS.len() {
+                CORNERS[row]
+            } else {
+                match rng.gen_range(0..6u32) {
+                    0 | 1 => rng.gen_range(0..=16u64),
+                    2 => rng.gen_range(0..=255u64),
+                    3 => (rng.gen_range(1..=64u64)).wrapping_neg(),
+                    4 => 1u64 << rng.gen_range(0..63u32 as u64),
+                    _ => rng.next_u64(),
+                }
+            };
+            ty.wrap(raw)
+        }
+        Ty::F64 => {
+            if row < CORNERS.len() {
+                [0.0f64, 1.0, -1.0, 0.5][row].to_bits()
+            } else {
+                let mag = (rng.gen_f64() - 0.5) * 256.0;
+                mag.to_bits()
+            }
+        }
+        // No way to conjure a valid address from outside: pass null. Runs
+        // that dereference it trap on the original side and are skipped.
+        Ty::Ptr => 0,
+        Ty::Void => 0,
+    }
+}
+
+/// One battery row of arguments for `f`.
+fn sample_args(f: &Function, row: usize, rng: &mut SplitMix64) -> Vec<u64> {
+    f.params.iter().map(|&(_, ty)| sample_arg(ty, row, rng)).collect()
+}
+
+/// Stable 64-bit hash of the function name (FNV-1a), used to give sibling
+/// functions distinct deterministic batteries from one seed.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Shrink candidates for one coordinate, simplest first.
+fn shrink_candidates(v: u64) -> Vec<u64> {
+    let mut c = vec![0, 1, 2, v >> 32, v & 0xffff, v & 0xff, v >> 1];
+    c.retain(|&x| x != v);
+    c.dedup();
+    c
+}
+
+/// Greedy per-coordinate minimization of a diverging input vector: try
+/// simpler values for each coordinate, keeping any change that preserves
+/// divergence, until a fixpoint or the budget runs out.
+fn minimize(
+    orig_env: &Module,
+    opt_env: &Module,
+    fname: &str,
+    mut args: Vec<u64>,
+    cfg: &ExecConfig,
+    mut budget: usize,
+) -> Vec<u64> {
+    loop {
+        let mut improved = false;
+        for i in 0..args.len() {
+            for cand in shrink_candidates(args[i]) {
+                if budget == 0 {
+                    return args;
+                }
+                budget -= 1;
+                let prev = std::mem::replace(&mut args[i], cand);
+                match probe(orig_env, opt_env, fname, &args, cfg) {
+                    Probe::Diverge(..) => {
+                        improved = true;
+                        break; // keep the simpler value, move on
+                    }
+                    _ => args[i] = prev,
+                }
+            }
+        }
+        if !improved {
+            return args;
+        }
+    }
+}
+
+/// Triage one alarm: differentially interpret `original` vs `optimized`
+/// (both spliced into `env`, see [`build_envs`]) over the seeded battery
+/// and classify the failed `verdict`.
+///
+/// The battery is deterministic: the same `(env, functions, options)`
+/// always produce the same classification and the same witness, regardless
+/// of which thread runs the triage — the driver's parallel engine relies
+/// on this.
+pub fn triage_alarm(
+    env: &Module,
+    original: &Function,
+    optimized: &Function,
+    verdict: &Verdict,
+    opts: &TriageOptions,
+) -> Triage {
+    let (orig_env, opt_env) = build_envs(env, original, optimized);
+    let fname = original.name.as_str();
+    let cfg = ExecConfig { fuel: opts.fuel, max_depth: opts.max_depth };
+    let mut rng = SplitMix64::seed_from_u64(opts.seed ^ name_hash(fname));
+    let mut inputs_run = 0;
+    let mut inputs_skipped = 0;
+    let mut witness = None;
+    for row in 0..opts.battery {
+        let args = sample_args(original, row, &mut rng);
+        match probe(&orig_env, &opt_env, fname, &args, &cfg) {
+            Probe::Skip => inputs_skipped += 1,
+            Probe::Agree => inputs_run += 1,
+            Probe::Diverge(..) => {
+                inputs_run += 1;
+                let args = minimize(&orig_env, &opt_env, fname, args, &cfg, opts.shrink_budget);
+                // Re-probe the minimized vector for the outcomes to record.
+                let Probe::Diverge(a, b) = probe(&orig_env, &opt_env, fname, &args, &cfg) else {
+                    unreachable!("minimize only keeps diverging inputs");
+                };
+                witness = Some(Witness { args, original: a, optimized: b });
+                break;
+            }
+        }
+    }
+    Triage {
+        class: if witness.is_some() {
+            TriageClass::RealMiscompile
+        } else {
+            TriageClass::SuspectedIncomplete
+        },
+        witness,
+        rewrites: verdict.stats.rewrites,
+        divergent_roots: verdict.stats.divergent_roots.clone(),
+        inputs_run,
+        inputs_skipped,
+    }
+}
+
+impl Validator {
+    /// Validate `optimized` against `original` and, when validation fails,
+    /// triage the alarm by differential interpretation (see the
+    /// [module docs](self)). `env` supplies the globals and sibling
+    /// functions both sides run against — pass the module the original
+    /// function came from (an empty module works for self-contained
+    /// functions).
+    pub fn validate_triaged(
+        &self,
+        env: &Module,
+        original: &Function,
+        optimized: &Function,
+        opts: &TriageOptions,
+    ) -> TriagedVerdict {
+        let verdict = self.validate(original, optimized);
+        if verdict.validated {
+            return TriagedVerdict { verdict, triage: None };
+        }
+        let triage = triage_alarm(env, original, optimized, &verdict, opts);
+        TriagedVerdict { verdict, triage: Some(triage) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::parse::parse_module;
+
+    fn module(src: &str) -> Module {
+        parse_module(src).expect("parse")
+    }
+
+    #[test]
+    fn flipped_add_is_a_real_miscompile_with_minimal_witness() {
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 1\n  ret i64 %x\n}\n");
+        let bad =
+            module("define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 2\n  ret i64 %x\n}\n");
+        let tv = Validator::new().validate_triaged(
+            &m,
+            &m.functions[0],
+            &bad.functions[0],
+            &TriageOptions::default(),
+        );
+        assert!(!tv.validated());
+        let t = tv.triage.expect("alarm triaged");
+        assert_eq!(t.class, TriageClass::RealMiscompile);
+        let w = t.witness.expect("witness");
+        // +1 vs +2 diverge on every input; the shrinker reaches all-zeros.
+        assert_eq!(w.args, vec![0]);
+        assert_eq!(w.original.ret, Some(1));
+        assert_eq!(w.optimized.as_ref().unwrap().ret, Some(2));
+    }
+
+    #[test]
+    fn equivalent_but_unprovable_pair_is_suspected_incomplete() {
+        // a+3+0 vs a+3: genuinely equal, but unprovable without the
+        // constant-folding rule group — the paper's false-alarm shape.
+        let m = module(
+            "define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 3\n  %y = add i64 %x, 0\n  ret i64 %y\n}\n",
+        );
+        let opt =
+            module("define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 3\n  ret i64 %x\n}\n");
+        let strict = Validator { rules: crate::rules::RuleSet::none(), ..Validator::new() };
+        let tv = strict.validate_triaged(
+            &m,
+            &m.functions[0],
+            &opt.functions[0],
+            &TriageOptions::default(),
+        );
+        assert!(!tv.validated(), "no-rules validator cannot prove x+0 = x");
+        let t = tv.triage.expect("alarm triaged");
+        assert_eq!(t.class, TriageClass::SuspectedIncomplete);
+        assert!(t.witness.is_none());
+        assert!(t.inputs_run > 0, "battery must have compared real runs");
+        let roots = t.divergent_roots.expect("fixpoint failure records roots");
+        assert_ne!(roots.original, roots.optimized);
+    }
+
+    #[test]
+    fn introduced_trap_is_divergence() {
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n");
+        let bad =
+            module("define i64 @f(i64 %a) {\nentry:\n  %q = sdiv i64 %a, 0\n  ret i64 %q\n}\n");
+        let tv = Validator::new().validate_triaged(
+            &m,
+            &m.functions[0],
+            &bad.functions[0],
+            &TriageOptions::default(),
+        );
+        let t = tv.triage.expect("alarm triaged");
+        assert_eq!(t.class, TriageClass::RealMiscompile);
+        let w = t.witness.expect("witness");
+        assert_eq!(w.optimized, Err(Trap::DivByZero));
+    }
+
+    #[test]
+    fn original_trap_is_skipped_not_divergence() {
+        // The original traps on every input (division by zero): the
+        // validator guarantees nothing, so triage must not call the
+        // transformed side a miscompile no matter what it returns.
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  %q = sdiv i64 %a, 0\n  ret i64 %q\n}\n");
+        let opt = module("define i64 @f(i64 %a) {\nentry:\n  ret i64 7\n}\n");
+        let tv = Validator::new().validate_triaged(
+            &m,
+            &m.functions[0],
+            &opt.functions[0],
+            &TriageOptions::default(),
+        );
+        let t = tv.triage.expect("alarm triaged");
+        assert_eq!(t.class, TriageClass::SuspectedIncomplete);
+        assert_eq!(t.inputs_run, 0);
+        assert!(t.inputs_skipped > 0);
+    }
+
+    #[test]
+    fn battery_is_deterministic() {
+        let m = module(
+            "define i64 @f(i64 %a, i64 %b) {\nentry:\n  %x = mul i64 %a, %b\n  ret i64 %x\n}\n",
+        );
+        let bad = module(
+            "define i64 @f(i64 %a, i64 %b) {\nentry:\n  %x = add i64 %a, %b\n  ret i64 %x\n}\n",
+        );
+        let v = Validator::new();
+        let o = TriageOptions::default();
+        let t1 = v.validate_triaged(&m, &m.functions[0], &bad.functions[0], &o).triage.unwrap();
+        let t2 = v.validate_triaged(&m, &m.functions[0], &bad.functions[0], &o).triage.unwrap();
+        assert_eq!(t1, t2, "same inputs, same options: identical triage");
+    }
+
+    #[test]
+    fn globals_are_part_of_the_observable_outcome() {
+        // Dropping a global store changes no return value, only final
+        // memory — triage must still see the divergence.
+        let m = module(
+            "@g = global [1 x i64] [0]\n\ndefine void @f(i64 %x) {\nentry:\n  store i64 %x, ptr @g\n  ret void\n}\n",
+        );
+        let bad = module(
+            "@g = global [1 x i64] [0]\n\ndefine void @f(i64 %x) {\nentry:\n  ret void\n}\n",
+        );
+        let tv = Validator::new().validate_triaged(
+            &m,
+            &m.functions[0],
+            &bad.functions[0],
+            &TriageOptions::default(),
+        );
+        let t = tv.triage.expect("alarm triaged");
+        assert_eq!(t.class, TriageClass::RealMiscompile);
+        let w = t.witness.expect("witness");
+        assert_ne!(w.args, vec![0], "storing 0 is indistinguishable from not storing");
+    }
+}

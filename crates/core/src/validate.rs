@@ -105,6 +105,18 @@ impl std::fmt::Display for FailReason {
     }
 }
 
+/// The first pair of normalized graph roots that refused to merge, rendered
+/// as (truncated) S-expressions. Captured only on [`FailReason::RootsDiffer`]
+/// fixpoint failures — the evidence the alarm-triage layer hands a rule
+/// author hunting a validator incompleteness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DivergentRoots {
+    /// The original function's normalized root term.
+    pub original: String,
+    /// The optimized function's normalized root term.
+    pub optimized: String,
+}
+
 /// Statistics from one validation query.
 #[derive(Clone, Debug, Default)]
 pub struct ValidationStats {
@@ -120,6 +132,11 @@ pub struct ValidationStats {
     pub cycle_merges: usize,
     /// Wall-clock time spent.
     pub duration: Duration,
+    /// On [`FailReason::RootsDiffer`]: the first pair of normalized roots
+    /// that stayed distinct (return roots if they differ, else the
+    /// observable-memory roots). `None` on success and on budget/gate
+    /// failures, where no normalized fixpoint exists to render.
+    pub divergent_roots: Option<DivergentRoots>,
 }
 
 /// The outcome of one validation query.
@@ -137,6 +154,37 @@ pub struct Verdict {
 impl Verdict {
     fn fail(reason: FailReason, stats: ValidationStats) -> Verdict {
         Verdict { validated: false, reason: Some(reason), stats }
+    }
+}
+
+/// Root terms longer than this are cut mid-render: the triage evidence
+/// needs the *shape* of the disagreement, not a megabyte of S-expression.
+const ROOT_DISPLAY_CAP: usize = 240;
+
+/// Render the first divergent root pair: return roots if they disagree,
+/// else the observable-memory roots (`None` if, impossibly, both agree).
+fn first_divergent_roots(
+    g: &SharedGraph,
+    ret_o: Option<gated_ssa::NodeId>,
+    ret_t: Option<gated_ssa::NodeId>,
+    mem_o: gated_ssa::NodeId,
+    mem_t: gated_ssa::NodeId,
+) -> Option<DivergentRoots> {
+    let show = |n: Option<gated_ssa::NodeId>| match n {
+        Some(n) => g.display_capped(n, ROOT_DISPLAY_CAP),
+        None => "(void)".to_owned(),
+    };
+    let ret_differ = match (ret_o, ret_t) {
+        (Some(a), Some(b)) => !g.same(a, b),
+        (None, None) => false,
+        _ => true,
+    };
+    if ret_differ {
+        Some(DivergentRoots { original: show(ret_o), optimized: show(ret_t) })
+    } else if !g.same(mem_o, mem_t) {
+        Some(DivergentRoots { original: show(Some(mem_o)), optimized: show(Some(mem_t)) })
+    } else {
+        None
     }
 }
 
@@ -222,6 +270,7 @@ impl Validator {
         if ret_o.is_some() != ret_t.is_some() {
             stats.nodes_final = g.live_count(&roots);
             stats.duration = deadline.elapsed();
+            stats.divergent_roots = first_divergent_roots(&g, ret_o, ret_t, mem_o, mem_t);
             return Verdict::fail(FailReason::RootsDiffer, stats);
         }
 
@@ -265,6 +314,7 @@ impl Validator {
         if validated {
             Verdict { validated: true, reason: None, stats }
         } else {
+            stats.divergent_roots = first_divergent_roots(&g, ret_o, ret_t, mem_o, mem_t);
             Verdict::fail(FailReason::RootsDiffer, stats)
         }
     }

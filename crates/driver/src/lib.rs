@@ -19,6 +19,19 @@
 //! evaluation: which functions the optimizer changed, which of those
 //! validated, per-rule rewrite counts and wall-clock times (Figs. 4–8).
 //!
+//! # Alarm triage
+//!
+//! The `*_triaged` entry points ([`ValidationEngine::llvm_md_triaged`],
+//! [`ValidationEngine::validate_modules_triaged`]) post-process every
+//! paired alarm through `llvm_md_core::triage`: differential interpretation
+//! over a seeded input battery classifies the alarm as a real
+//! miscompilation (with a minimized, replayable witness) or a suspected
+//! validator incompleteness (with the rewrite trace and divergent
+//! normalized roots). Triage runs on the same worker pool as validation —
+//! each worker triages the alarms it discovers — and is deterministic per
+//! function, so reports still agree at any worker count
+//! ([`Report::same_outcome`] includes the triage classification).
+//!
 //! # Concurrency
 //!
 //! Per-function validation queries are independent, so the driver runs them
@@ -51,6 +64,7 @@
 
 use lir::func::{Function, Module};
 use lir_opt::PassManager;
+use llvm_md_core::triage::{triage_alarm, Triage, TriageClass, TriageOptions};
 use llvm_md_core::{FailReason, RewriteCounts, Validator, Verdict};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -81,6 +95,10 @@ pub struct FunctionRecord {
     pub rewrites: RewriteCounts,
     /// Normalization rounds.
     pub rounds: usize,
+    /// Alarm triage, when the engine ran a triaged entry point and this
+    /// record is a *paired* alarm (pairing alarms — missing/extra functions
+    /// — have no pair to interpret differentially and stay `None`).
+    pub triage: Option<Triage>,
 }
 
 impl FunctionRecord {
@@ -98,6 +116,7 @@ impl FunctionRecord {
             && self.reason == other.reason
             && self.rewrites == other.rewrites
             && self.rounds == other.rounds
+            && self.triage == other.triage
     }
 }
 
@@ -147,6 +166,26 @@ impl Report {
         self.records.iter().map(|r| r.rewrites.total()).sum()
     }
 
+    /// Alarms the triage layer classified as real miscompilations (only
+    /// ever non-zero on reports from the `*_triaged` entry points).
+    pub fn real_miscompiles(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.triage.as_ref().is_some_and(|t| t.class == TriageClass::RealMiscompile))
+            .count()
+    }
+
+    /// Alarms the triage layer classified as suspected validator
+    /// incompletenesses (the paper's false alarms).
+    pub fn suspected_incomplete(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.triage.as_ref().is_some_and(|t| t.class == TriageClass::SuspectedIncomplete)
+            })
+            .count()
+    }
+
     /// True when both reports carry the same records modulo wall-clock
     /// timing (see [`FunctionRecord::same_outcome`]) — the determinism
     /// contract between the serial driver and the parallel engine.
@@ -180,6 +219,10 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
+/// What the pool returns per job: the verdict plus, on triaged entry
+/// points, the triage of the alarm (always `None` for validated pairs).
+type TriagedOutcome = (Verdict, Option<Triage>);
+
 /// One name-paired validation query: which record it reports into and which
 /// input/output functions it compares.
 struct PairJob {
@@ -209,6 +252,7 @@ fn blank_record(name: &str, insts_before: usize, insts_after: usize) -> Function
         duration: Duration::ZERO,
         rewrites: RewriteCounts::default(),
         rounds: 0,
+        triage: None,
     }
 }
 
@@ -357,15 +401,30 @@ impl ValidationEngine {
         slots.into_iter().map(|r| r.expect("work queue covered every job")).collect()
     }
 
-    /// Validate the paired jobs of one or more modules on the pool. Each
-    /// job is `(input module, output module, pairing job)`.
+    /// Validate (and, when `triage` options are given, triage) the paired
+    /// jobs of one or more modules on the pool. Each job is `(input module,
+    /// output module, pairing job)`; triage rides the same worker that ran
+    /// the failed validation query, so a batch with a handful of alarms
+    /// pays for interpretation only on those — and the per-function triage
+    /// battery is deterministic, so the aggregated records are identical at
+    /// any worker count.
     fn validate_jobs(
         &self,
         jobs: &[(&Module, &Module, PairJob)],
         validator: &Validator,
-    ) -> Vec<Verdict> {
+        triage: Option<&TriageOptions>,
+    ) -> Vec<TriagedOutcome> {
         self.run_jobs(jobs, |(input, output, job)| {
-            validator.validate(&input.functions[job.in_idx], &output.functions[job.out_idx])
+            let original = &input.functions[job.in_idx];
+            let optimized = &output.functions[job.out_idx];
+            let verdict = validator.validate(original, optimized);
+            let triage = match triage {
+                Some(opts) if !verdict.validated => {
+                    Some(triage_alarm(input, original, optimized, &verdict, opts))
+                }
+                _ => None,
+            };
+            (verdict, triage)
         })
     }
 
@@ -374,18 +433,19 @@ impl ValidationEngine {
     fn merge_verdicts(
         records: &mut [FunctionRecord],
         jobs: &[PairJob],
-        verdicts: Vec<Verdict>,
+        verdicts: Vec<TriagedOutcome>,
         input: &Module,
         mut splice: Option<&mut Module>,
     ) -> Duration {
         let mut total = Duration::ZERO;
-        for (job, v) in jobs.iter().zip(verdicts) {
+        for (job, (v, triage)) in jobs.iter().zip(verdicts) {
             let rec = &mut records[job.slot];
             rec.validated = v.validated;
             rec.reason = v.reason;
             rec.duration = v.stats.duration;
             rec.rewrites = v.stats.rewrites;
             rec.rounds = v.stats.rounds;
+            rec.triage = triage;
             total += v.stats.duration;
             if !rec.validated {
                 if let Some(output) = splice.as_deref_mut() {
@@ -416,6 +476,32 @@ impl ValidationEngine {
         pm: &PassManager,
         validator: &Validator,
     ) -> (Module, Report) {
+        self.llvm_md_impl(input, pm, validator, None)
+    }
+
+    /// [`ValidationEngine::llvm_md`] with alarm triage: every paired alarm
+    /// additionally carries a [`Triage`] classification
+    /// ([`FunctionRecord::triage`]) computed by differential interpretation
+    /// on the same worker pool — real miscompilations come back with a
+    /// minimized witness input, false alarms with the rewrite trace and
+    /// divergent normalized roots.
+    pub fn llvm_md_triaged(
+        &self,
+        input: &Module,
+        pm: &PassManager,
+        validator: &Validator,
+        opts: &TriageOptions,
+    ) -> (Module, Report) {
+        self.llvm_md_impl(input, pm, validator, Some(opts))
+    }
+
+    fn llvm_md_impl(
+        &self,
+        input: &Module,
+        pm: &PassManager,
+        validator: &Validator,
+        triage: Option<&TriageOptions>,
+    ) -> (Module, Report) {
         let mut output = input.clone();
         let t0 = Instant::now();
         pm.run_module(&mut output);
@@ -427,7 +513,7 @@ impl ValidationEngine {
             let out_ref: &Module = &output;
             jobs.into_iter().map(|j| (input, out_ref, j)).collect()
         };
-        let verdicts = self.validate_jobs(&job_refs, validator);
+        let verdicts = self.validate_jobs(&job_refs, validator, triage);
         let jobs: Vec<PairJob> = job_refs.into_iter().map(|(_, _, j)| j).collect();
         let validate_time =
             Self::merge_verdicts(&mut records, &jobs, verdicts, input, Some(&mut output));
@@ -444,10 +530,34 @@ impl ValidationEngine {
         output: &Module,
         validator: &Validator,
     ) -> Report {
+        self.validate_modules_impl(input, output, validator, None)
+    }
+
+    /// [`ValidationEngine::validate_modules`] with alarm triage (see
+    /// [`ValidationEngine::llvm_md_triaged`]). The *input* module is the
+    /// interpretation environment: both sides of each pair run against the
+    /// input module's globals and sibling functions.
+    pub fn validate_modules_triaged(
+        &self,
+        input: &Module,
+        output: &Module,
+        validator: &Validator,
+        opts: &TriageOptions,
+    ) -> Report {
+        self.validate_modules_impl(input, output, validator, Some(opts))
+    }
+
+    fn validate_modules_impl(
+        &self,
+        input: &Module,
+        output: &Module,
+        validator: &Validator,
+        triage: Option<&TriageOptions>,
+    ) -> Report {
         let Pairing { mut records, jobs, dropped: _ } = pair_functions(input, output);
         let job_refs: Vec<(&Module, &Module, PairJob)> =
             jobs.into_iter().map(|j| (input, output, j)).collect();
-        let verdicts = self.validate_jobs(&job_refs, validator);
+        let verdicts = self.validate_jobs(&job_refs, validator, triage);
         let jobs: Vec<PairJob> = job_refs.into_iter().map(|(_, _, j)| j).collect();
         let validate_time = Self::merge_verdicts(&mut records, &jobs, verdicts, input, None);
         Report { records, opt_time: Duration::ZERO, validate_time }
@@ -501,9 +611,9 @@ impl ValidationEngine {
             }
             pairings.push(pairing);
         }
-        let verdicts = self.validate_jobs(&flat, validator);
+        let verdicts = self.validate_jobs(&flat, validator, None);
         // Stage 3: demultiplex verdicts back per module, splice, report.
-        let mut per_module: Vec<(Vec<PairJob>, Vec<Verdict>)> =
+        let mut per_module: Vec<(Vec<PairJob>, Vec<TriagedOutcome>)> =
             (0..inputs.len()).map(|_| (Vec::new(), Vec::new())).collect();
         for ((mi, (_, _, job)), verdict) in job_module.into_iter().zip(flat).zip(verdicts) {
             per_module[mi].0.push(job);
@@ -527,6 +637,17 @@ impl ValidationEngine {
 /// wrapper over [`ValidationEngine::llvm_md`] at `workers = 1`).
 pub fn llvm_md(input: &Module, pm: &PassManager, validator: &Validator) -> (Module, Report) {
     ValidationEngine::serial().llvm_md(input, pm, validator)
+}
+
+/// Run the `llvm-md` pipeline serially with alarm triage (a thin wrapper
+/// over [`ValidationEngine::llvm_md_triaged`] at `workers = 1`).
+pub fn llvm_md_triaged(
+    input: &Module,
+    pm: &PassManager,
+    validator: &Validator,
+    opts: &TriageOptions,
+) -> (Module, Report) {
+    ValidationEngine::serial().llvm_md_triaged(input, pm, validator, opts)
 }
 
 /// Run a single optimization pass (by paper abbreviation) over the module
@@ -755,6 +876,82 @@ mod tests {
                 format!("{out}"),
                 "workers={workers}: certified modules differ"
             );
+        }
+    }
+
+    /// Triaged runs classify alarms: a broken "optimizer" that flips a
+    /// comparison yields a real miscompile with a witness; splice-back
+    /// still restores the original.
+    #[test]
+    fn triaged_pipeline_classifies_a_real_miscompile() {
+        struct FlipFirstIcmp;
+        impl Pass for FlipFirstIcmp {
+            fn name(&self) -> &'static str {
+                "flip-first-icmp"
+            }
+            fn run(&self, f: &mut Function, _ctx: &Ctx<'_>) -> bool {
+                for b in &mut f.blocks {
+                    for inst in &mut b.insts {
+                        if let lir::inst::Inst::Icmp { pred, .. } = inst {
+                            *pred = pred.negated();
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+        let m = module(
+            "define i64 @max(i64 %a, i64 %b) {\n\
+             entry:\n  %c = icmp sgt i64 %a, %b\n  br i1 %c, label %l, label %r\n\
+             l:\n  ret i64 %a\n\
+             r:\n  ret i64 %b\n\
+             }\n",
+        );
+        let mut pm = PassManager::new();
+        pm.add(Box::new(FlipFirstIcmp));
+        let opts = llvm_md_core::TriageOptions::default();
+        let (out, report) = llvm_md_triaged(&m, &pm, &Validator::new(), &opts);
+        assert_eq!(report.alarms(), 1);
+        assert_eq!(report.real_miscompiles(), 1);
+        assert_eq!(report.suspected_incomplete(), 0);
+        let rec = &report.records[0];
+        let triage = rec.triage.as_ref().expect("alarm triaged");
+        assert!(triage.witness.is_some(), "real miscompile carries a witness");
+        // The miscompiled function was spliced back.
+        assert!(!changed(&m.functions[0], &out.functions[0]));
+    }
+
+    /// Triage is deterministic across worker counts: `same_outcome` (which
+    /// includes the triage classification and witness) must hold between a
+    /// serial and a parallel triaged run.
+    #[test]
+    fn triaged_reports_agree_across_worker_counts() {
+        let m = module(
+            "define i64 @fold(i64 %a) {\n\
+             entry:\n  %x = add i64 3, 3\n  %y = mul i64 %a, %x\n  ret i64 %y\n\
+             }\n\
+             define i64 @dead(i64 %a) {\n\
+             entry:\n  %d = add i64 %a, 9\n  %u = mul i64 %d, %d\n  ret i64 %a\n\
+             }\n",
+        );
+        // A rule-less validator alarms on every real transformation, so the
+        // triage path actually runs.
+        let strict = Validator { rules: llvm_md_core::RuleSet::none(), ..Validator::new() };
+        let pm = paper_pipeline();
+        let opts = llvm_md_core::TriageOptions::default();
+        let (_, serial) = ValidationEngine::serial().llvm_md_triaged(&m, &pm, &strict, &opts);
+        assert!(serial.alarms() > 0, "strict validator must alarm here");
+        assert_eq!(
+            serial.real_miscompiles(),
+            0,
+            "honest optimizer output must never triage as a miscompile"
+        );
+        assert_eq!(serial.suspected_incomplete(), serial.alarms());
+        for workers in [2, 4] {
+            let engine = ValidationEngine::with_workers(workers);
+            let (_, rep) = engine.llvm_md_triaged(&m, &pm, &strict, &opts);
+            assert!(serial.same_outcome(&rep), "workers={workers}: triaged outcomes differ");
         }
     }
 

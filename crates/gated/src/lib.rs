@@ -6,7 +6,7 @@
 //!
 //! 1. [`prep`] canonicalizes the CFG (single return, loop preheaders, single
 //!    latches, dedicated exits) and rejects irreducible control flow;
-//! 2. [`build`] threads two abstract state chains (memory contents and the
+//! 2. [`mod@build`] threads two abstract state chains (memory contents and the
 //!    allocation chain) through the instructions — the *monadic* part — and
 //!    replaces φ-nodes with **gated φs** (branch conditions attached),
 //!    **μ-nodes** at loop headers and **η-nodes** at loop exits — the
@@ -34,6 +34,8 @@
 //! assert_eq!(gated.graph.display(gated.ret.unwrap()), "(add p0 p0)");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod build;
 pub mod node;

@@ -51,7 +51,8 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// Interned callee name (index into [`ValueGraph::callees`]).
+/// Interned callee name (index into the owning graph's callee table; see
+/// [`ValueGraph::callee_name`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct CalleeId(pub u32);
 

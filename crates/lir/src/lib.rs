@@ -8,8 +8,8 @@
 //!   instructions ([`Inst`]), φ-nodes ([`Phi`]) and block terminators
 //!   ([`Term`]);
 //! * a textual assembly syntax with a [parser](parse) and printer
-//!   (`Display` impls in [`print`]);
-//! * control-flow analyses: [CFG](cfg), [dominators](dom) and
+//!   (`Display` impls in [`mod@print`]);
+//! * control-flow analyses: [CFG](mod@cfg), [dominators](dom) and
 //!   [natural loops](loops) including a reducibility test;
 //! * an SSA/type [verifier](verify);
 //! * a reference [interpreter](interp) with a flat memory model, used for

@@ -1,0 +1,350 @@
+//! Miscompile injection: ground truth for the alarm-triage layer.
+//!
+//! The paper evaluates the validator against an optimizer assumed correct,
+//! so every alarm it reports is a *false* alarm. To measure the other half
+//! of the triage story — does differential interpretation actually catch
+//! real miscompilations? — this module provides **deliberately broken pass
+//! variants** and a corpus of `(original, miscompiled)` module pairs with
+//! known-divergent semantics:
+//!
+//! * [`BugKind::FlipComparison`] — the first integer comparison's predicate
+//!   is negated (the classic inverted-branch bug);
+//! * [`BugKind::DropStore`] — the first `store` instruction is silently
+//!   deleted (a DSE pass gone too far);
+//! * [`BugKind::SkipPhi`] — a φ merge is skipped: every incoming value is
+//!   replaced by the first one, as if the pass forgot the join (restricted
+//!   to φs whose first incoming is a constant, so the result still passes
+//!   the verifier).
+//!
+//! Each bug preserves *verifier*-validity — the broken function parses,
+//! type-checks and is in SSA form — while changing observable behaviour on
+//! some input. That is exactly the adversary the validator + triage
+//! pipeline must catch: tests assert every corpus entry is classified
+//! `RealMiscompile` with a replayable witness (see `tests/triage.rs`; the
+//! class lives in `llvm_md_core::triage`, which sits *above* this crate in
+//! the dependency graph).
+
+use crate::corpus::corpus;
+use lir::func::{Function, Module};
+use lir::inst::Inst;
+use lir::parse::parse_module;
+use lir::value::{Constant, Operand};
+use lir_opt::{Ctx, Pass};
+
+/// A kind of injected compiler bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BugKind {
+    /// Negate the predicate of the first integer comparison.
+    FlipComparison,
+    /// Delete the first `store` instruction.
+    DropStore,
+    /// Replace every incoming value of a φ by its first (constant) incoming.
+    SkipPhi,
+}
+
+impl BugKind {
+    /// All bug kinds, in a fixed order.
+    pub fn all() -> [BugKind; 3] {
+        [BugKind::FlipComparison, BugKind::DropStore, BugKind::SkipPhi]
+    }
+
+    /// Short stable name (used in reports and bench artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            BugKind::FlipComparison => "flip-comparison",
+            BugKind::DropStore => "drop-store",
+            BugKind::SkipPhi => "skip-phi",
+        }
+    }
+
+    /// Apply the bug to `f`. Returns `true` if a target was found and the
+    /// function changed; `false` leaves `f` untouched. The result is always
+    /// verifier-clean.
+    pub fn apply(self, f: &mut Function) -> bool {
+        match self {
+            BugKind::FlipComparison => {
+                for b in &mut f.blocks {
+                    for inst in &mut b.insts {
+                        if let Inst::Icmp { pred, .. } = inst {
+                            *pred = pred.negated();
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            BugKind::DropStore => {
+                for b in &mut f.blocks {
+                    if let Some(i) =
+                        b.insts.iter().position(|inst| matches!(inst, Inst::Store { .. }))
+                    {
+                        b.insts.remove(i);
+                        return true;
+                    }
+                }
+                false
+            }
+            BugKind::SkipPhi => {
+                for b in &mut f.blocks {
+                    for phi in &mut b.phis {
+                        // Constants dominate every use, so forcing all
+                        // incomings to the first constant keeps the verifier
+                        // happy; requiring a second, different incoming
+                        // guarantees an actual change.
+                        let first = match phi.incomings.first() {
+                            Some(&(_, v @ Operand::Const(Constant::Int { .. }))) => v,
+                            _ => continue,
+                        };
+                        if phi.incomings.iter().all(|&(_, v)| v == first) {
+                            continue;
+                        }
+                        for (_, v) in &mut phi.incomings {
+                            *v = first;
+                        }
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// A [`BugKind`] packaged as an optimizer [`Pass`], so a broken "optimizer"
+/// can be assembled from a real `PassManager` pipeline (the shape the
+/// driver's certifying entry points consume).
+#[derive(Clone, Copy, Debug)]
+pub struct BrokenPass(pub BugKind);
+
+impl Pass for BrokenPass {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn run(&self, f: &mut Function, _ctx: &Ctx<'_>) -> bool {
+        self.0.apply(f)
+    }
+}
+
+/// One entry of the injected-bug corpus: an original module, the same
+/// module with one function miscompiled, and which function/bug it is.
+#[derive(Clone, Debug)]
+pub struct InjectedBug {
+    /// Corpus entry name.
+    pub name: &'static str,
+    /// The injected bug kind.
+    pub kind: BugKind,
+    /// The function the bug was injected into.
+    pub function: &'static str,
+    /// The unmodified module (the interpretation environment).
+    pub module: Module,
+    /// The module with `function` miscompiled.
+    pub broken: Module,
+}
+
+/// Hand-written targets with a guaranteed injection site *and* guaranteed
+/// observable divergence on small inputs: `(name, bug, function, source)`.
+fn targets() -> Vec<(&'static str, BugKind, &'static str, &'static str)> {
+    vec![
+        (
+            "flip_max",
+            BugKind::FlipComparison,
+            "max",
+            "define i64 @max(i64 %a, i64 %b) {\n\
+             entry:\n  %c = icmp sgt i64 %a, %b\n  br i1 %c, label %l, label %r\n\
+             l:\n  ret i64 %a\n\
+             r:\n  ret i64 %b\n\
+             }\n",
+        ),
+        (
+            "flip_loop_bound",
+            BugKind::FlipComparison,
+            "sum",
+            "define i64 @sum(i64 %n) {\n\
+             entry:\n  %cap = icmp slt i64 %n, 16\n  br i1 %cap, label %go, label %big\n\
+             big:\n  ret i64 0\n\
+             go:\n  br label %h\n\
+             h:\n  %i = phi i64 [ 0, %go ], [ %i2, %b ]\n\
+             %s = phi i64 [ 0, %go ], [ %s2, %b ]\n\
+             %c = icmp slt i64 %i, %n\n  br i1 %c, label %b, label %e\n\
+             b:\n  %s2 = add i64 %s, %i\n  %i2 = add i64 %i, 1\n  br label %h\n\
+             e:\n  ret i64 %s\n\
+             }\n",
+        ),
+        (
+            "drop_global_store",
+            BugKind::DropStore,
+            "publish",
+            "@state = global [1 x i64] [0]\n\n\
+             define i64 @publish(i64 %x) {\n\
+             entry:\n  store i64 %x, ptr @state\n  %y = add i64 %x, 1\n  ret i64 %y\n\
+             }\n",
+        ),
+        (
+            "drop_stack_store",
+            BugKind::DropStore,
+            "roundtrip",
+            "define i64 @roundtrip(i64 %x) {\n\
+             entry:\n  %p = alloca 8, align 8\n  store i64 %x, ptr %p\n\
+             %v = load i64, ptr %p\n  ret i64 %v\n\
+             }\n",
+        ),
+        (
+            "skip_phi_select",
+            BugKind::SkipPhi,
+            "pick",
+            "define i64 @pick(i64 %a, i64 %b) {\n\
+             entry:\n  %c = icmp slt i64 %a, %b\n  br i1 %c, label %t, label %e\n\
+             t:\n  br label %j\n\
+             e:\n  br label %j\n\
+             j:\n  %x = phi i64 [ 1, %t ], [ 2, %e ]\n  %r = mul i64 %x, %a\n  ret i64 %r\n\
+             }\n",
+        ),
+        (
+            "skip_phi_switch",
+            BugKind::SkipPhi,
+            "dispatch",
+            "define i64 @dispatch(i64 %k) {\n\
+             entry:\n  switch i64 %k, label %d [ 1, label %a 2, label %b ]\n\
+             a:\n  br label %j\n\
+             b:\n  br label %j\n\
+             d:\n  br label %j\n\
+             j:\n  %x = phi i64 [ 10, %a ], [ 20, %b ], [ 30, %d ]\n  ret i64 %x\n\
+             }\n",
+        ),
+    ]
+}
+
+/// The injected-bug corpus: every entry's `broken` module is
+/// verifier-clean, differs from `module` in exactly the named function, and
+/// observably diverges from it on some small input (ground truth for the
+/// triage layer; asserted by `tests/triage.rs`).
+pub fn injected_corpus() -> Vec<InjectedBug> {
+    targets()
+        .into_iter()
+        .map(|(name, kind, function, src)| {
+            let module = parse_module(src).unwrap_or_else(|e| panic!("corpus `{name}`: {e}"));
+            let mut broken = module.clone();
+            let f = broken
+                .functions
+                .iter_mut()
+                .find(|f| f.name == function)
+                .unwrap_or_else(|| panic!("corpus `{name}`: no function @{function}"));
+            assert!(kind.apply(f), "corpus `{name}`: injector found no target");
+            debug_assert!(
+                lir::verify::verify_module(&broken).is_ok(),
+                "corpus `{name}`: injected bug broke the verifier: {:?}",
+                lir::verify::verify_module(&broken).err()
+            );
+            InjectedBug { name, kind, function, module, broken }
+        })
+        .collect()
+}
+
+/// Miscompiled variants of the hand-written §3–§4 corpus: each paper
+/// example gets every bug kind that finds a target in it. These stress the
+/// triage layer on exactly the shapes the validator's rules were written
+/// for (loops, φs, memory chains).
+pub fn injected_paper_corpus() -> Vec<InjectedBug> {
+    let mut out = Vec::new();
+    for (name, src) in corpus() {
+        let Ok(module) = parse_module(src) else { continue };
+        for kind in BugKind::all() {
+            let mut broken = module.clone();
+            let Some(f) = broken.functions.first_mut() else { continue };
+            let fname = f.name.clone();
+            if !kind.apply(f) {
+                continue;
+            }
+            if lir::verify::verify_module(&broken).is_err() {
+                continue;
+            }
+            let function: &'static str = match fname.as_str() {
+                "f" => "f",
+                _ => continue, // corpus functions are all @f today
+            };
+            out.push(InjectedBug { name, kind, function, module: module.clone(), broken });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::interp::{run, ExecConfig};
+
+    #[test]
+    fn corpus_bugs_apply_and_verify() {
+        let corpus = injected_corpus();
+        assert_eq!(corpus.len(), 6);
+        for bug in &corpus {
+            lir::verify::verify_module(&bug.module).expect("original verifies");
+            lir::verify::verify_module(&bug.broken).expect("broken verifies");
+            assert_ne!(
+                format!("{}", bug.module),
+                format!("{}", bug.broken),
+                "{}: bug must change the module",
+                bug.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_bug_diverges_on_some_small_input() {
+        // Ground-truth check independent of the triage layer: brute-force
+        // small inputs until the pair observably diverges.
+        let cfg = ExecConfig::default();
+        for bug in injected_corpus() {
+            let nparams = bug.module.function(bug.function).expect("function exists").params.len();
+            let grid: Vec<u64> = vec![0, 1, 2, 3, 5, 7];
+            let mut diverged = false;
+            let mut idx = vec![0usize; nparams];
+            'outer: loop {
+                let args: Vec<u64> = idx.iter().map(|&i| grid[i]).collect();
+                let a = run(&bug.module, bug.function, &args, &cfg);
+                let b = run(&bug.broken, bug.function, &args, &cfg);
+                if a.is_ok() && a != b {
+                    diverged = true;
+                    break;
+                }
+                for slot in idx.iter_mut() {
+                    *slot += 1;
+                    if *slot < grid.len() {
+                        continue 'outer;
+                    }
+                    *slot = 0;
+                }
+                break;
+            }
+            assert!(diverged, "{}: injected bug never diverged on the small grid", bug.name);
+        }
+    }
+
+    #[test]
+    fn broken_pass_reports_changes() {
+        let mut m = parse_module(
+            "define i1 @f(i64 %a, i64 %b) {\n\
+             entry:\n  %c = icmp slt i64 %a, %b\n  ret i1 %c\n\
+             }\n",
+        )
+        .expect("parse");
+        let pass = BrokenPass(BugKind::FlipComparison);
+        assert_eq!(pass.name(), "flip-comparison");
+        assert!(pass.run(&mut m.functions[0], &Ctx::empty()));
+        lir::verify::verify_function(&m.functions[0]).expect("still verifies");
+        // A pass with no target reports no change.
+        let mut id =
+            parse_module("define i64 @id(i64 %a) {\nentry:\n  ret i64 %a\n}\n").expect("parse");
+        assert!(!BrokenPass(BugKind::DropStore).run(&mut id.functions[0], &Ctx::empty()));
+    }
+
+    #[test]
+    fn paper_corpus_injections_exist() {
+        let bugs = injected_paper_corpus();
+        assert!(!bugs.is_empty(), "paper corpus must yield injectable targets");
+        for bug in &bugs {
+            lir::verify::verify_module(&bug.broken).expect("broken verifies");
+        }
+    }
+}

@@ -3,13 +3,15 @@
 //! The paper evaluates on SPEC CPU2006's pure-C programs and SQLite
 //! (Table 1). Without those sources or clang, this crate substitutes:
 //!
-//! * [`profiles`] — one seeded synthetic profile per Table-1 benchmark,
+//! * [`mod@profiles`] — one seeded synthetic profile per Table-1 benchmark,
 //!   preserving scale and code style (see the module docs for the
 //!   substitution argument);
 //! * [`gen`] — the structured generator that turns a profile into a
 //!   verifier-clean, trap-free, reducible [`lir`] module;
-//! * [`corpus`] — the paper's §3–§4 running examples and targeted
+//! * [`mod@corpus`] — the paper's §3–§4 running examples and targeted
 //!   stress-tests, hand-written in `lir` assembly;
+//! * [`inject`] — deliberately miscompiled module pairs (broken pass
+//!   variants) as ground truth for the alarm-triage layer;
 //! * [`batch`] — deterministic corpus/suite batching for the driver's
 //!   `validate_corpus` throughput entry point.
 //!
@@ -29,11 +31,13 @@
 pub mod batch;
 pub mod corpus;
 pub mod gen;
+pub mod inject;
 pub mod profiles;
 pub mod rng;
 
 pub use batch::{corpus_batch, generate_suite, suite_batch};
 pub use corpus::{corpus, corpus_modules};
 pub use gen::generate;
+pub use inject::{injected_corpus, injected_paper_corpus, BrokenPass, BugKind, InjectedBug};
 pub use profiles::{profile, profiles, PaperRow, Profile};
 pub use rng::SplitMix64;

@@ -5,12 +5,16 @@
 //! integration tests can use a single dependency:
 //!
 //! * [`lir`] — the LLVM-like SSA IR, analyses and interpreter;
-//! * [`opt`](lir_opt) — the black-box optimizer (mem2reg, ADCE, GVN, SCCP,
-//!   LICM, loop deletion, loop unswitching, DSE, instcombine);
-//! * [`gated`](gated_ssa) — Monadic Gated SSA construction;
-//! * [`core`](llvm_md_core) — the normalizing value-graph validator;
-//! * [`driver`](llvm_md_driver) — the `llvm-md` pipeline and reporting;
-//! * [`workload`](llvm_md_workload) — synthetic benchmarks and corpus.
+//! * [`opt`] — the black-box optimizer (mem2reg, ADCE, GVN, SCCP, LICM,
+//!   loop deletion, loop unswitching, DSE, instcombine);
+//! * [`gated`] — Monadic Gated SSA construction;
+//! * [`core`] — the normalizing value-graph validator and alarm triage;
+//! * [`driver`] — the `llvm-md` pipeline and reporting;
+//! * [`workload`] — synthetic benchmarks, corpus and miscompile injection.
+//!
+//! The full data-flow picture — which crate feeds which, and the
+//! determinism and zero-dependency contracts that hold across all of them —
+//! is documented in `ARCHITECTURE.md` at the repository root.
 
 pub use gated_ssa as gated;
 pub use lir;
