@@ -5,10 +5,17 @@
 #   BENCH_micro.json    micro-benchmarks: gating / import / validate medians
 #   BENCH_scaling.json  parallel engine throughput at 1/2/4/N workers
 #   BENCH_triage.json   alarm-triage rates per rule-set ablation
+#   BENCH_chain.json    end-to-end vs per-pass chained validation + blame
 #
 # Future PRs compare their numbers against the committed artifacts, so the
 # perf trajectory of the validator is mechanical to follow. Extra arguments
 # (e.g. `--scale 1` for the full suite) are forwarded to fig4_pipeline.
+#
+# Worker counts: every bin that builds a default ValidationEngine honors
+# the LLVM_MD_WORKERS env var (see driver::default_workers), so a
+# multi-core re-baseline run — e.g. after the 1-core BENCH_scaling.json
+# caveat in README.md — is `LLVM_MD_WORKERS=8 ci/bench_baseline.sh`, no
+# code edits needed.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,4 +32,7 @@ cargo run --release --offline -q -p llvm_md_bench --bin fig4_scaling -- "$@"
 echo "==> alarm triage (BENCH_triage.json)"
 cargo run --release --offline -q -p llvm_md_bench --bin table2_triage -- "$@"
 
-echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json BENCH_triage.json)"
+echo "==> chain validation (BENCH_chain.json)"
+cargo run --release --offline -q -p llvm_md_bench --bin table3_chain -- "$@"
+
+echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json BENCH_triage.json BENCH_chain.json)"

@@ -36,7 +36,7 @@ cargo test -q --workspace --offline
 
 if [[ $fast -eq 0 ]]; then
   echo "==> examples smoke test"
-  for e in quickstart certify_pipeline catch_miscompilation rule_ablation triage_alarm; do
+  for e in quickstart certify_pipeline catch_miscompilation rule_ablation triage_alarm chain_blame; do
     echo "---- example $e"
     cargo run --release --offline -q --example "$e" > /dev/null
   done
@@ -64,6 +64,30 @@ for row in data["ablations"]:
         f"suite pair misclassified as miscompile under rules {row['rules']!r}"
 print(f"triage smoke OK: {data['ablations'][0]['injected_bugs']} bugs caught under "
       f"{len(data['ablations'])} ablations")
+EOF
+
+  echo "==> chain smoke (2-worker chain vs serial end-to-end, cache must hit)"
+  # table3_chain asserts internally that every chain run matches itself at
+  # 1 and 4 workers (ChainReport::same_outcome), that the chained rate is
+  # >= the end-to-end rate, and that all injected bugs are blamed on the
+  # correct pass; LLVM_MD_WORKERS=2 makes the primary run a 2-worker pool.
+  # The artifact check re-verifies the invariants the gate cares about.
+  chain_dir="$(mktemp -d)"
+  BENCH_OUT_DIR="$chain_dir" LLVM_MD_WORKERS=2 cargo run --release --offline -q \
+    -p llvm_md_bench --bin table3_chain -- --scale 16 --battery 8 > /dev/null
+  python3 - "$chain_dir/BENCH_chain.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data["workers"] == 2, f"LLVM_MD_WORKERS override ignored: {data['workers']}"
+assert data["cache_hits"] > 0, "chained run must report a nonzero cache-hit count"
+assert data["cache_skips"] > 0, "untouched functions must be fingerprint-skipped"
+assert data["chain_rate"] >= data["end_to_end_rate"], \
+    f"chained rate {data['chain_rate']} fell below end-to-end {data['end_to_end_rate']}"
+assert data["injected_blamed_correctly"] == data["injected_bugs"] > 0, \
+    f"pass-level blame missed a bug: {data['injected_detail']}"
+print(f"chain smoke OK: rate {data['chain_rate']:.3f} vs e2e {data['end_to_end_rate']:.3f}, "
+      f"{data['cache_hits']} cache hits, {data['cache_skips']} skips, "
+      f"{data['injected_blamed_correctly']}/{data['injected_bugs']} bugs blamed correctly")
 EOF
 fi
 

@@ -12,10 +12,12 @@ use lir_opt::paper_pipeline;
 use llvm_md_bench::json::Json;
 use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{MatchStrategy, Validator};
-use llvm_md_driver::llvm_md;
+use llvm_md_driver::ValidationEngine;
 
 fn main() {
     let scale = scale_from_args();
+    // Worker count: LLVM_MD_WORKERS, else available_parallelism.
+    let engine = ValidationEngine::new();
     println!("Section 5.4 ablation: cycle-matching strategy (full pipeline, 1/{scale} scale)");
     let strategies = [
         (MatchStrategy::None, "none"),
@@ -33,7 +35,7 @@ fn main() {
         let mut row = format!("{:12}", p.name);
         for (i, (strategy, _)) in strategies.iter().enumerate() {
             let v = Validator { strategy: *strategy, ..Validator::new() };
-            let (_, report) = llvm_md(&m, &paper_pipeline(), &v);
+            let (_, report) = engine.llvm_md(&m, &paper_pipeline(), &v);
             totals[i].0 += report.transformed();
             totals[i].1 += report.validated();
             if i == 0 {

@@ -17,11 +17,13 @@ use lir_opt::paper_pipeline;
 use llvm_md_bench::json::Json;
 use llvm_md_bench::{bar, pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::Validator;
-use llvm_md_driver::llvm_md;
+use llvm_md_driver::ValidationEngine;
 use std::time::{Duration, Instant};
 
 fn main() {
     let scale = scale_from_args();
+    // Worker count: LLVM_MD_WORKERS, else available_parallelism.
+    let engine = ValidationEngine::new();
     println!("Figure 4: validation results for the optimization pipeline (1/{scale} scale)");
     println!(
         "{:12} {:>6} {:>12} {:>10}  {:24} {:>10} {:>10}",
@@ -36,7 +38,7 @@ fn main() {
     let mut tot_val = Duration::ZERO;
     let mut rows = Vec::new();
     for (p, m) in suite(scale) {
-        let (_, report) = llvm_md(&m, &paper_pipeline(), &validator);
+        let (_, report) = engine.llvm_md(&m, &paper_pipeline(), &validator);
         let (t, v) = (report.transformed(), report.validated());
         tot_t += t;
         tot_v += v;

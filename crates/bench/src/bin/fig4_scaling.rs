@@ -23,7 +23,7 @@
 
 use lir_opt::paper_pipeline;
 use llvm_md_bench::json::Json;
-use llvm_md_bench::{bar, scale_from_args, write_artifact};
+use llvm_md_bench::{bar, scale_from_args, usize_flag, write_artifact};
 use llvm_md_core::Validator;
 use llvm_md_driver::{default_workers, Report, ValidationEngine};
 use llvm_md_workload::suite_batch;
@@ -55,8 +55,7 @@ fn worker_axis() -> Vec<usize> {
 
 fn main() {
     let scale = scale_from_args();
-    let repeats: usize =
-        flag_value("--repeats").and_then(|r| r.parse().ok()).filter(|&r| r >= 1).unwrap_or(3);
+    let repeats = usize_flag("--repeats", 3);
     let axis = worker_axis();
     let modules = suite_batch(scale);
     let total_funcs: usize = modules.iter().map(|m| m.functions.len()).sum();

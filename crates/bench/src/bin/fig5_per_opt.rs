@@ -12,7 +12,7 @@
 use llvm_md_bench::json::Json;
 use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::Validator;
-use llvm_md_driver::run_single_pass;
+use llvm_md_driver::ValidationEngine;
 
 const PASSES: &[(&str, &str)] = &[
     ("adce", "ADCE"),
@@ -26,6 +26,8 @@ const PASSES: &[(&str, &str)] = &[
 
 fn main() {
     let scale = scale_from_args();
+    // Worker count: LLVM_MD_WORKERS, else available_parallelism.
+    let engine = ValidationEngine::new();
     println!("Figure 5: validator results for individual optimizations (1/{scale} scale)");
     print!("{:12}", "benchmark");
     for (_, label) in PASSES {
@@ -43,7 +45,7 @@ fn main() {
     for (p, m) in suite(scale) {
         print!("{:12}", p.name);
         for (i, (pass, _)) in PASSES.iter().enumerate() {
-            let report = run_single_pass(&m, pass, &validator).unwrap_or_else(|e| {
+            let report = engine.run_single_pass(&m, pass, &validator).unwrap_or_else(|e| {
                 eprintln!("fig5_per_opt: {e}");
                 std::process::exit(2);
             });

@@ -12,12 +12,14 @@
 use llvm_md_bench::json::Json;
 use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{RuleSet, Validator};
-use llvm_md_driver::run_single_pass;
+use llvm_md_driver::ValidationEngine;
 
 const STEPS: [&str; 6] = ["none", "+phi", "+cfold", "+ldst", "+eta", "+commute"];
 
 fn main() {
     let scale = scale_from_args();
+    // Worker count: LLVM_MD_WORKERS, else available_parallelism.
+    let engine = ValidationEngine::new();
     println!("Figure 6: GVN validation % as rule groups accumulate (1/{scale} scale)");
     println!(
         "{:12} {:>6} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -29,7 +31,7 @@ fn main() {
         let mut row = format!("{:12}", p.name);
         for step in 1..=6 {
             let v = Validator { rules: RuleSet::fig6_step(step), ..Validator::new() };
-            let report = run_single_pass(&m, "gvn", &v).unwrap_or_else(|e| {
+            let report = engine.run_single_pass(&m, "gvn", &v).unwrap_or_else(|e| {
                 eprintln!("fig6_gvn_rules: {e}");
                 std::process::exit(2);
             });

@@ -12,10 +12,12 @@
 use llvm_md_bench::json::Json;
 use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{RuleSet, Validator};
-use llvm_md_driver::run_single_pass;
+use llvm_md_driver::ValidationEngine;
 
 fn main() {
     let scale = scale_from_args();
+    // Worker count: LLVM_MD_WORKERS, else available_parallelism.
+    let engine = ValidationEngine::new();
     println!("Figure 7: LICM validation % by rule configuration (1/{scale} scale)");
     println!("{:12} {:>6} | {:>8} {:>8} {:>8}", "benchmark", "xform", "none", "all", "all+libc");
     println!("{}", "-".repeat(52));
@@ -29,7 +31,7 @@ fn main() {
         let mut row = format!("{:12}", p.name);
         for (i, (_, rules)) in configs.iter().enumerate() {
             let v = Validator { rules: *rules, ..Validator::new() };
-            let report = run_single_pass(&m, "licm", &v).unwrap_or_else(|e| {
+            let report = engine.run_single_pass(&m, "licm", &v).unwrap_or_else(|e| {
                 eprintln!("fig7_licm_rules: {e}");
                 std::process::exit(2);
             });

@@ -10,12 +10,14 @@
 use llvm_md_bench::json::Json;
 use llvm_md_bench::{pct, scale_from_args, suite, write_artifact};
 use llvm_md_core::{RuleSet, Validator};
-use llvm_md_driver::run_single_pass;
+use llvm_md_driver::ValidationEngine;
 
 const STEPS: [&str; 4] = ["none", "+cfold", "+phi", "all"];
 
 fn main() {
     let scale = scale_from_args();
+    // Worker count: LLVM_MD_WORKERS, else available_parallelism.
+    let engine = ValidationEngine::new();
     println!("Figure 8: SCCP validation % by rule configuration (1/{scale} scale)");
     println!(
         "{:12} {:>6} | {:>8} {:>8} {:>8} {:>8}",
@@ -27,7 +29,7 @@ fn main() {
         let mut row = format!("{:12}", p.name);
         for step in 1..=4 {
             let v = Validator { rules: RuleSet::fig8_step(step), ..Validator::new() };
-            let report = run_single_pass(&m, "sccp", &v).unwrap_or_else(|e| {
+            let report = engine.run_single_pass(&m, "sccp", &v).unwrap_or_else(|e| {
                 eprintln!("fig8_sccp_rules: {e}");
                 std::process::exit(2);
             });

@@ -20,7 +20,7 @@
 
 use lir_opt::paper_pipeline;
 use llvm_md_bench::json::Json;
-use llvm_md_bench::{bar, pct, scale_from_args, suite, write_artifact};
+use llvm_md_bench::{bar, pct, scale_from_args, suite, usize_flag, write_artifact};
 use llvm_md_core::{RuleSet, TriageClass, TriageOptions, Validator};
 use llvm_md_driver::ValidationEngine;
 use llvm_md_workload::injected_corpus;
@@ -39,19 +39,9 @@ fn ablations() -> Vec<(&'static str, RuleSet)> {
     ]
 }
 
-fn battery_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--battery")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(16)
-}
-
 fn main() {
     let scale = scale_from_args();
-    let opts = TriageOptions { battery: battery_from_args(), ..TriageOptions::default() };
+    let opts = TriageOptions { battery: usize_flag("--battery", 16), ..TriageOptions::default() };
     let engine = ValidationEngine::new();
     let pm = paper_pipeline();
     let modules = suite(scale);

@@ -14,6 +14,7 @@
 //! | Fig. 8 | `fig8_sccp_rules` | SCCP validation % over its four rule configurations |
 //! | §5.4 | `ablation_cycle_matching` | unification vs partitioning vs combined |
 //! | Table 2 | `table2_triage` | alarm-triage rates per rule ablation: suite false alarms vs injected-bug catches |
+//! | Table 3 | `table3_chain` | end-to-end vs per-pass chained validation (rates, wall-clock, cache hits) + injected-bug pass blame |
 //!
 //! Micro-benchmarks (gating, normalization, end-to-end validation at
 //! several function sizes) live in `benches/micro.rs`, driven by the
@@ -33,15 +34,23 @@ use lir::func::Module;
 use llvm_md_workload::Profile;
 use std::path::PathBuf;
 
-/// Parse a `--scale N` argument (default 4).
-pub fn scale_from_args() -> usize {
+/// Parse a positive-integer `<flag> N` command-line argument, falling back
+/// to `default` when the flag is absent, malformed, or zero — the one
+/// flag-parsing pipeline every bench bin shares (`--scale`, `--battery`,
+/// `--repeats`, …).
+pub fn usize_flag(flag: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--scale")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or(4)
+        .unwrap_or(default)
+}
+
+/// Parse a `--scale N` argument (default 4).
+pub fn scale_from_args() -> usize {
+    usize_flag("--scale", 4)
 }
 
 /// The benchmark suite at `1/scale` of the profile function counts (a

@@ -24,6 +24,12 @@
 //! A `true` verdict means the optimized function has the same semantics for
 //! every terminating, non-trapping execution (the paper's guarantee, §2).
 //!
+//! For pass-by-pass *chain* validation (the driver's `chain` module), the
+//! [`cache`] layer adds structural [`fingerprint`]s and a fingerprint-keyed
+//! [`GraphCache`] of gated graphs, so adjacent validation steps share the
+//! middle module's graphs and fingerprint-equal functions skip their
+//! queries entirely ([`Validator::validate_cached`]).
+//!
 //! # Example
 //!
 //! ```
@@ -44,12 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod cache;
 pub mod cycles;
 pub mod graph;
 pub mod rules;
 pub mod triage;
 pub mod validate;
 
+pub use cache::{fingerprint, fingerprint_canonical, module_fingerprints, CacheStats, GraphCache};
 pub use cycles::MatchStrategy;
 pub use graph::SharedGraph;
 pub use rules::{RewriteCounts, RuleBudgets, RuleSet};

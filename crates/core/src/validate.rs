@@ -152,7 +152,7 @@ pub struct Verdict {
 }
 
 impl Verdict {
-    fn fail(reason: FailReason, stats: ValidationStats) -> Verdict {
+    pub(crate) fn fail(reason: FailReason, stats: ValidationStats) -> Verdict {
         Verdict { validated: false, reason: Some(reason), stats }
     }
 }

@@ -32,6 +32,18 @@
 //! function, so reports still agree at any worker count
 //! ([`Report::same_outcome`] includes the triage classification).
 //!
+//! # Chain validation
+//!
+//! The one-shot entry points above validate input-vs-final-output, which
+//! composes every pass's incompleteness into one verdict and cannot say
+//! *which* pass broke a function. The [`chain`] module fixes both: a
+//! [`ChainValidator`] runs the `PassManager` step-by-step, validates every
+//! adjacent module pair on the same worker pool (sharing gated graphs and
+//! skipping fingerprint-identical functions through
+//! `llvm_md_core::cache`), and produces a [`ChainReport`] with per-pass
+//! reports, a pass-level [`Blame`] for every alarm, and a
+//! certified-composition cross-check against the end-to-end verdict.
+//!
 //! # Concurrency
 //!
 //! Per-function validation queries are independent, so the driver runs them
@@ -61,6 +73,10 @@
 //! validator never certified, and callers deciding to trust the output must
 //! check [`Report::alarms`] first (exactly as for any other alarm, where
 //! the paper's splice already restored the original).
+
+pub mod chain;
+
+pub use chain::{Blame, ChainReport, ChainStep, ChainValidator, Composition};
 
 use lir::func::{Function, Module};
 use lir_opt::PassManager;
@@ -207,38 +223,51 @@ pub struct UnknownPass(pub String);
 
 impl std::fmt::Display for UnknownPass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unknown pass `{}` (see lir_opt::pass_by_name for the registry)", self.0)
+        write!(f, "unknown pass `{}`; known passes: {}", self.0, lir_opt::known_passes().join(", "))
     }
 }
 
 impl std::error::Error for UnknownPass {}
 
-/// The default worker count: `std::thread::available_parallelism`, or 1
-/// when the platform can't say.
+/// The default worker count: the `LLVM_MD_WORKERS` environment variable
+/// when set to a positive integer, else `std::thread::available_parallelism`
+/// (1 when the platform can't say).
+///
+/// The env override lets `ci/bench_baseline.sh` and multi-core
+/// re-baselining runs control parallelism without code edits — every bench
+/// bin that builds a [`ValidationEngine::new`] (or puts [`default_workers`]
+/// on a worker axis) honors it. A malformed or zero value is ignored.
 pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("LLVM_MD_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// What the pool returns per job: the verdict plus, on triaged entry
 /// points, the triage of the alarm (always `None` for validated pairs).
-type TriagedOutcome = (Verdict, Option<Triage>);
+pub(crate) type TriagedOutcome = (Verdict, Option<Triage>);
 
 /// One name-paired validation query: which record it reports into and which
 /// input/output functions it compares.
-struct PairJob {
-    slot: usize,
-    in_idx: usize,
-    out_idx: usize,
+pub(crate) struct PairJob {
+    pub(crate) slot: usize,
+    pub(crate) in_idx: usize,
+    pub(crate) out_idx: usize,
 }
 
 /// The result of pairing an input module against an optimizer's output:
 /// pre-filled records (input order, then output-only extras), the
 /// transformed pairs still to validate, and the input functions the output
 /// dropped (for the certifying splice-back).
-struct Pairing {
-    records: Vec<FunctionRecord>,
-    jobs: Vec<PairJob>,
-    dropped: Vec<usize>,
+pub(crate) struct Pairing {
+    pub(crate) records: Vec<FunctionRecord>,
+    pub(crate) jobs: Vec<PairJob>,
+    pub(crate) dropped: Vec<usize>,
 }
 
 fn blank_record(name: &str, insts_before: usize, insts_after: usize) -> FunctionRecord {
@@ -262,7 +291,19 @@ fn blank_record(name: &str, insts_before: usize, insts_after: usize) -> Function
 /// side pair positionally among themselves (first input copy ↔ first output
 /// copy, …); every unmatched copy still gets a missing/extra alarm record —
 /// nothing is silently skipped.
-fn pair_functions(input: &Module, output: &Module) -> Pairing {
+pub(crate) fn pair_functions(input: &Module, output: &Module) -> Pairing {
+    pair_functions_by(input, output, |i, o| changed(&input.functions[i], &output.functions[o]))
+}
+
+/// [`pair_functions`] with a pluggable transformed-predicate over
+/// `(input index, output index)` — chain validation passes fingerprint
+/// inequality here so per-version fingerprints are computed once instead of
+/// one structural comparison per adjacent pair.
+pub(crate) fn pair_functions_by(
+    input: &Module,
+    output: &Module,
+    is_changed: impl Fn(usize, usize) -> bool,
+) -> Pairing {
     let mut by_name: HashMap<&str, Vec<usize>> = HashMap::with_capacity(output.functions.len());
     for (i, f) in output.functions.iter().enumerate() {
         by_name.entry(f.name.as_str()).or_default().push(i);
@@ -281,7 +322,7 @@ fn pair_functions(input: &Module, output: &Module) -> Pairing {
         match next_with_name {
             Some(out_idx) => {
                 let fo = &output.functions[out_idx];
-                let transformed = changed(fi, fo);
+                let transformed = is_changed(in_idx, out_idx);
                 let mut rec = blank_record(&fi.name, fi.inst_count(), fo.inst_count());
                 rec.transformed = transformed;
                 if transformed {
@@ -362,7 +403,7 @@ impl ValidationEngine {
     /// order. Workers pull from an atomic queue so long queries don't stall
     /// the rest of the batch behind a static partition. With one worker (or
     /// one item) the map runs inline on the calling thread.
-    fn run_jobs<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    pub(crate) fn run_jobs<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
@@ -430,7 +471,7 @@ impl ValidationEngine {
 
     /// Fold verdicts back into their records; returns the summed validation
     /// time and splices rejected functions when `splice` carries the output.
-    fn merge_verdicts(
+    pub(crate) fn merge_verdicts(
         records: &mut [FunctionRecord],
         jobs: &[PairJob],
         verdicts: Vec<TriagedOutcome>,

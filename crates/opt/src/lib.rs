@@ -100,6 +100,47 @@ impl PassManager {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
+    /// Number of registered passes (= number of chain-validation steps).
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True when no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// The name of the pass at step `idx` (panics when out of range, like
+    /// indexing).
+    pub fn step_name(&self, idx: usize) -> &'static str {
+        self.passes[idx].name()
+    }
+
+    /// Run only the pass at step `idx` over every function of a module —
+    /// the step granularity chain validation observes. Because passes are
+    /// function-local, running steps 0..len() in order over one module
+    /// produces exactly the module [`PassManager::run_module`] produces.
+    /// Returns `true` if anything changed; panics when `idx` is out of
+    /// range.
+    pub fn run_step(&self, idx: usize, m: &mut Module) -> bool {
+        let globals = m.globals.clone();
+        let ctx = Ctx { globals: &globals };
+        let p = &self.passes[idx];
+        let mut changed = false;
+        for f in &mut m.functions {
+            changed |= p.run(f, &ctx);
+            debug_assert!(
+                lir::verify::verify_function(f).is_ok(),
+                "pass {} broke function @{}:\n{}\n{:?}",
+                p.name(),
+                f.name,
+                f,
+                lir::verify::verify_function(f).err()
+            );
+        }
+        changed
+    }
+
     /// Run all passes on one function. Returns `true` if anything changed.
     pub fn run_function(&self, f: &mut Function, ctx: &Ctx<'_>) -> bool {
         let mut changed = false;
@@ -135,10 +176,22 @@ impl Default for PassManager {
     }
 }
 
+/// Every pass name [`pass_by_name`] recognizes, in registry order (the
+/// paper abbreviations). Error messages and CLI help list this, and
+/// `pass_by_name` is tested to stay in sync with it.
+pub const KNOWN_PASSES: [&str; 10] =
+    ["adce", "gvn", "sccp", "licm", "ld", "lu", "dse", "instcombine", "mem2reg", "simplifycfg"];
+
+/// The names [`pass_by_name`] recognizes, as a slice (see [`KNOWN_PASSES`]).
+pub fn known_passes() -> &'static [&'static str] {
+    &KNOWN_PASSES
+}
+
 /// Construct one pass by its paper abbreviation.
 ///
 /// Recognized names: `adce`, `gvn`, `sccp`, `licm`, `ld` (loop deletion),
-/// `lu` (loop unswitching), `dse`, `instcombine`, `mem2reg`, `simplifycfg`.
+/// `lu` (loop unswitching), `dse`, `instcombine`, `mem2reg`, `simplifycfg`
+/// (the [`KNOWN_PASSES`] registry).
 pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass + Send + Sync>> {
     Some(match name {
         "adce" => Box::new(adce::Adce),
@@ -179,5 +232,42 @@ mod tests {
     fn pass_by_name_rejects_unknown() {
         assert!(pass_by_name("magic").is_none());
         assert!(pass_by_name("gvn").is_some());
+    }
+
+    /// The advertised registry and the constructor stay in sync.
+    #[test]
+    fn known_passes_all_resolve() {
+        for &name in known_passes() {
+            let p = pass_by_name(name).unwrap_or_else(|| panic!("`{name}` must resolve"));
+            assert_eq!(p.name(), name, "registry name and pass name must agree");
+        }
+    }
+
+    /// `run_step` over every step equals `run_module` (passes are
+    /// function-local, so the iteration orders commute).
+    #[test]
+    fn run_step_sequence_equals_run_module() {
+        let src = "define i64 @f(i1 %c) {\n\
+                   entry:\n  br i1 %c, label %t, label %e\n\
+                   t:\n  br label %j\n\
+                   e:\n  br label %j\n\
+                   j:\n  %a = phi i64 [ 1, %t ], [ 2, %e ]\n\
+                   %b = phi i64 [ 1, %t ], [ 2, %e ]\n\
+                   %s = sub i64 %a, %b\n  %d = add i64 3, 3\n  %m = mul i64 %s, %d\n\
+                   ret i64 %m\n\
+                   }\n\
+                   define i64 @g(i64 %x) {\nentry:\n  %y = add i64 %x, 0\n  ret i64 %y\n}\n";
+        let m = lir::parse::parse_module(src).expect("parse");
+        let pm = paper_pipeline();
+        assert_eq!(pm.len(), 7);
+        assert!(!pm.is_empty());
+        assert_eq!(pm.step_name(1), "gvn");
+        let mut whole = m.clone();
+        pm.run_module(&mut whole);
+        let mut stepped = m.clone();
+        for k in 0..pm.len() {
+            pm.run_step(k, &mut stepped);
+        }
+        assert_eq!(format!("{whole}"), format!("{stepped}"));
     }
 }

@@ -39,5 +39,8 @@ pub use batch::{corpus_batch, generate_suite, suite_batch};
 pub use corpus::{corpus, corpus_modules};
 pub use gen::generate;
 pub use inject::{injected_corpus, injected_paper_corpus, BrokenPass, BugKind, InjectedBug};
-pub use profiles::{profile, profiles, PaperRow, Profile};
+pub use profiles::{
+    paper_schedule, profile, profiles, schedules, shuffled_schedule, singleton_schedules, PaperRow,
+    Profile, Schedule, PAPER_PASSES,
+};
 pub use rng::SplitMix64;

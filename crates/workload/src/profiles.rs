@@ -11,6 +11,16 @@
 //! pointer/memory-heavy code (SQLite, mcf, h264ref), libc usage and
 //! switch-based dispatch. Table 1's original numbers are retained in
 //! [`Profile::paper`] so the Table-1 harness can print paper-vs-ours.
+//!
+//! Besides the *what* to optimize, this module also pins the *how*: the
+//! pipeline [`Schedule`]s chain validation sweeps — the paper's §5.1
+//! pipeline ([`paper_schedule`]), one-pass singletons
+//! ([`singleton_schedules`], the Fig. 5 axis), and a seeded shuffled-order
+//! stress schedule ([`shuffled_schedule`]) that exercises pass interactions
+//! the fixed order never hits.
+
+use crate::rng::SplitMix64;
+use lir_opt::{pass_by_name, PassManager};
 
 /// Table 1 facts for the real benchmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -200,6 +210,77 @@ pub fn profile(name: &str) -> Option<Profile> {
     profiles().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
 }
 
+/// The paper's §5.1 pipeline order: ADCE, GVN, SCCP, LICM, loop deletion,
+/// loop unswitching, DSE (the passes `lir_opt::paper_pipeline` runs).
+pub const PAPER_PASSES: [&str; 7] = ["adce", "gvn", "sccp", "licm", "ld", "lu", "dse"];
+
+/// A named pass ordering: the unit the chain-validation harnesses sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Schedule name (used in reports and bench artifacts).
+    pub name: String,
+    /// Pass names, in run order; every entry must be a
+    /// `lir_opt::known_passes` name.
+    pub passes: Vec<&'static str>,
+}
+
+impl Schedule {
+    /// Build the `PassManager` that runs this schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass name is unknown — schedules constructed by this
+    /// module only carry registry names, so this fires only on hand-built
+    /// schedules with a typo.
+    pub fn pass_manager(&self) -> PassManager {
+        let mut pm = PassManager::new();
+        for name in &self.passes {
+            pm.add(pass_by_name(name).unwrap_or_else(|| {
+                panic!(
+                    "schedule `{}`: unknown pass `{name}` (known: {})",
+                    self.name,
+                    lir_opt::known_passes().join(", ")
+                )
+            }));
+        }
+        pm
+    }
+}
+
+/// The paper's §5.1 pipeline as a schedule.
+pub fn paper_schedule() -> Schedule {
+    Schedule { name: "paper".to_owned(), passes: PAPER_PASSES.to_vec() }
+}
+
+/// One single-pass schedule per paper pass — the per-optimization axis of
+/// Fig. 5, as chain-validation inputs.
+pub fn singleton_schedules() -> Vec<Schedule> {
+    PAPER_PASSES.iter().map(|&p| Schedule { name: format!("only-{p}"), passes: vec![p] }).collect()
+}
+
+/// The paper pipeline in a seed-determined shuffled order (Fisher–Yates
+/// over [`SplitMix64`]): a stress schedule that runs passes in orders the
+/// fixed pipeline never exercises, while staying reproducible — the same
+/// seed always yields the same order.
+pub fn shuffled_schedule(seed: u64) -> Schedule {
+    let mut passes = PAPER_PASSES.to_vec();
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for i in (1..passes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        passes.swap(i, j);
+    }
+    Schedule { name: format!("shuffled-{seed:#06x}"), passes }
+}
+
+/// The default schedule sweep for chain harnesses: the paper pipeline, the
+/// seven singletons, and one pinned shuffled-order stress schedule.
+pub fn schedules() -> Vec<Schedule> {
+    let mut out = vec![paper_schedule()];
+    out.extend(singleton_schedules());
+    out.push(shuffled_schedule(0xc4a1));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +307,40 @@ mod tests {
         assert!(profile("sqlite").is_some());
         assert!(profile("GCC").is_some());
         assert!(profile("nope").is_none());
+    }
+
+    #[test]
+    fn schedules_resolve_and_cover_the_paper_pipeline() {
+        let all = schedules();
+        // paper + 7 singletons + 1 shuffled.
+        assert_eq!(all.len(), 1 + PAPER_PASSES.len() + 1);
+        for s in &all {
+            let pm = s.pass_manager();
+            assert_eq!(pm.len(), s.passes.len(), "schedule `{}` must build fully", s.name);
+            assert_eq!(pm.names(), s.passes, "schedule `{}` order must survive", s.name);
+        }
+        assert_eq!(paper_schedule().passes, PAPER_PASSES);
+        // PAPER_PASSES is a hand-written copy of lir_opt::paper_pipeline's
+        // order; this is the cross-crate sync guard — if the pipeline
+        // changes, this fails until the schedule follows.
+        assert_eq!(
+            paper_schedule().pass_manager().names(),
+            lir_opt::paper_pipeline().names(),
+            "paper_schedule drifted from lir_opt::paper_pipeline"
+        );
+    }
+
+    #[test]
+    fn shuffled_schedule_is_seed_stable_and_a_permutation() {
+        let a = shuffled_schedule(0xc4a1);
+        let b = shuffled_schedule(0xc4a1);
+        assert_eq!(a, b, "same seed, same order");
+        let mut sorted = a.passes.clone();
+        sorted.sort_unstable();
+        let mut paper = PAPER_PASSES.to_vec();
+        paper.sort_unstable();
+        assert_eq!(sorted, paper, "a shuffle is a permutation, not a subset");
+        // Distinct seeds disagree somewhere (for these two pinned seeds).
+        assert_ne!(shuffled_schedule(1).passes, shuffled_schedule(2).passes);
     }
 }

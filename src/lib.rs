@@ -8,8 +8,10 @@
 //! * [`opt`] — the black-box optimizer (mem2reg, ADCE, GVN, SCCP, LICM,
 //!   loop deletion, loop unswitching, DSE, instcombine);
 //! * [`gated`] — Monadic Gated SSA construction;
-//! * [`core`] — the normalizing value-graph validator and alarm triage;
-//! * [`driver`] — the `llvm-md` pipeline and reporting;
+//! * [`core`] — the normalizing value-graph validator, alarm triage and the
+//!   fingerprint/graph cache;
+//! * [`driver`] — the `llvm-md` pipeline, per-pass chain validation and
+//!   reporting;
 //! * [`workload`] — synthetic benchmarks, corpus and miscompile injection.
 //!
 //! The full data-flow picture — which crate feeds which, and the

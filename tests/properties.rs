@@ -7,7 +7,9 @@
 //! * hash-consing: structurally equal expressions always share a node;
 //! * rewriting preserves concrete evaluation on random acyclic expression
 //!   graphs (rule soundness);
-//! * the union-find's `replace` keeps the new structure canonical.
+//! * the union-find's `replace` keeps the new structure canonical;
+//! * chain validation: certified chains have interpreter-indistinguishable
+//!   endpoints, and `ChainReport`s are worker-count deterministic.
 //!
 //! Driven by the in-repo [`harness`] (the workspace is zero-dependency, so
 //! no `proptest`): each property runs a fixed budget of seeded cases, and a
@@ -323,6 +325,87 @@ fn corpus_batching_matches_per_module_runs() {
             assert_eq!(format!("{serial_out}"), format!("{out}"), "workers={workers}");
         }
     }
+}
+
+/// Chain soundness: whenever the per-pass chain certifies a function
+/// (every step that changed it validated), the *endpoints* — the original
+/// and the fully-optimized function — never observably diverge under the
+/// triage layer's differential-interpretation battery. Validation composing
+/// transitively is the chain's whole claim; this checks it against the
+/// interpreter, the independent semantics oracle.
+#[test]
+fn chain_certified_endpoints_never_diverge() {
+    use llvm_md::core::triage::{triage_alarm, TriageClass, TriageOptions};
+    use llvm_md::core::validate::Verdict;
+    use llvm_md::driver::{ChainValidator, ValidationEngine};
+    use llvm_md::workload::shuffled_schedule;
+    harness::check("chain_certified_endpoints_never_diverge", 10, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let mut p = profiles()[(seed % 12) as usize];
+        p.functions = 5;
+        p.seed = seed * 1213 + 11;
+        let m = generate(&p);
+        // A seed-shuffled pass order stresses step interactions the fixed
+        // paper pipeline never exercises.
+        let pm = shuffled_schedule(seed).pass_manager();
+        let v = Validator::new();
+        let chain = ChainValidator::new(ValidationEngine::serial()).validate_chain(&m, &pm, &v);
+        let mut end = m.clone();
+        pm.run_module(&mut end);
+        let opts = TriageOptions { battery: 8, ..TriageOptions::default() };
+        for (i, orig) in m.functions.iter().enumerate() {
+            let transformed_somewhere = chain
+                .steps
+                .iter()
+                .any(|s| s.report.records.iter().any(|r| r.name == orig.name && r.transformed));
+            let certified = transformed_somewhere && chain.blame_for(&orig.name).is_none();
+            if !certified {
+                continue;
+            }
+            let opt = &end.functions[i];
+            // A dummy alarm verdict: `triage_alarm` only copies its stats
+            // into the evidence; the classification is pure interpretation.
+            let dummy = Verdict { validated: false, reason: None, stats: Default::default() };
+            let triage = triage_alarm(&m, orig, opt, &dummy, &opts);
+            ensure!(
+                triage.class != TriageClass::RealMiscompile,
+                "@{}: chain-certified but endpoints diverge (witness {:?})",
+                orig.name,
+                triage.witness
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Chain reports are worker-count deterministic, triage included — the
+/// chain analogue of `parallel_engine_matches_serial_driver`.
+#[test]
+fn chain_report_is_worker_count_deterministic() {
+    use llvm_md::core::TriageOptions;
+    use llvm_md::driver::{ChainValidator, ValidationEngine};
+    use llvm_md::workload::paper_schedule;
+    harness::check("chain_report_is_worker_count_deterministic", 6, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let mut p = profiles()[(seed % 12) as usize];
+        p.functions = 5;
+        p.seed = seed * 2741 + 3;
+        let m = generate(&p);
+        let pm = paper_schedule().pass_manager();
+        let v = Validator::new();
+        let opts = TriageOptions { battery: 8, ..TriageOptions::default() };
+        let serial = ChainValidator::with_triage(ValidationEngine::serial(), opts)
+            .validate_chain(&m, &pm, &v);
+        for workers in [2usize, 4] {
+            let par = ChainValidator::with_triage(ValidationEngine::with_workers(workers), opts)
+                .validate_chain(&m, &pm, &v);
+            ensure!(
+                serial.same_outcome(&par),
+                "workers={workers}: chain report diverged from the serial chain"
+            );
+        }
+        Ok(())
+    });
 }
 
 #[test]
