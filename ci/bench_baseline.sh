@@ -6,6 +6,7 @@
 #   BENCH_scaling.json  parallel engine throughput at 1/2/4/N workers
 #   BENCH_triage.json   alarm-triage rates per rule-set ablation
 #   BENCH_chain.json    end-to-end vs per-pass chained validation + blame
+#   BENCH_fuzz.json     differential fuzz campaign: per-profile rates, 0 findings
 #
 # Future PRs compare their numbers against the committed artifacts, so the
 # perf trajectory of the validator is mechanical to follow. Extra arguments
@@ -35,4 +36,9 @@ cargo run --release --offline -q -p llvm_md_bench --bin table2_triage -- "$@"
 echo "==> chain validation (BENCH_chain.json)"
 cargo run --release --offline -q -p llvm_md_bench --bin table3_chain -- "$@"
 
-echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json BENCH_triage.json BENCH_chain.json)"
+echo "==> fuzz campaign (BENCH_fuzz.json)"
+# The campaign is seeded, not scaled: the committed default seed + budget
+# reproduce the artifact exactly (extra args like --scale are ignored).
+cargo run --release --offline -q -p llvm_md_bench --bin fuzz_campaign
+
+echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json BENCH_triage.json BENCH_chain.json BENCH_fuzz.json)"

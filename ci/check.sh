@@ -36,7 +36,7 @@ cargo test -q --workspace --offline
 
 if [[ $fast -eq 0 ]]; then
   echo "==> examples smoke test"
-  for e in quickstart certify_pipeline catch_miscompilation rule_ablation triage_alarm chain_blame; do
+  for e in quickstart certify_pipeline catch_miscompilation rule_ablation triage_alarm chain_blame fuzz_and_reduce; do
     echo "---- example $e"
     cargo run --release --offline -q --example "$e" > /dev/null
   done
@@ -89,6 +89,49 @@ print(f"chain smoke OK: rate {data['chain_rate']:.3f} vs e2e {data['end_to_end_r
       f"{data['cache_hits']} cache hits, {data['cache_skips']} skips, "
       f"{data['injected_blamed_correctly']}/{data['injected_bugs']} bugs blamed correctly")
 EOF
+
+  echo "==> fuzz smoke (fixed seed: clean pipeline finds nothing, injected bug is caught + reduced + replayed)"
+  # Small-budget differential fuzz campaign at the committed default seed.
+  # Run 1 — unmodified pipeline: nonzero modules across >= 5 profiles, zero
+  # soundness failures (the bin itself exits nonzero on a finding).
+  fuzz_dir="$(mktemp -d)"
+  BENCH_OUT_DIR="$fuzz_dir" cargo run --release --offline -q -p llvm_md_bench \
+    --bin fuzz_campaign -- --modules 8 --battery 8 > /dev/null
+  python3 - "$fuzz_dir/BENCH_fuzz.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data["modules_generated"] > 0, data
+assert len(data["profiles"]) >= 5, f"campaign must span >=5 profiles: {len(data['profiles'])}"
+assert data["soundness_failures"] == 0, \
+    f"soundness failure on the unmodified pipeline: {data['findings']}"
+assert data["pairing_alarms"] == 0, data
+print(f"fuzz smoke OK: {data['modules_generated']} modules across "
+      f"{len(data['profiles'])} profiles, 0 soundness failures")
+EOF
+  # Run 2 — known-broken pass spliced in: the campaign must find it, the
+  # reducer must shrink it, and the persisted repro must replay (the bin
+  # exits nonzero on any of those failing; the artifact check re-verifies
+  # the shrink).
+  BENCH_OUT_DIR="$fuzz_dir" cargo run --release --offline -q -p llvm_md_bench \
+    --bin fuzz_campaign -- --modules 2 --battery 8 --max-findings 1 \
+    --inject flip-comparison --repro-dir "$fuzz_dir/repros" > /dev/null
+  python3 - "$fuzz_dir/BENCH_fuzz.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data["soundness_failures"] > 0, "injected bug not found"
+f = data["findings"][0]
+# Same invariant the bin enforces: the reducer must never grow a repro
+# (an already-minimal finding may legitimately not shrink).
+assert f["insts_after"] <= f["insts_before"], f"reducer grew the repro: {f}"
+print(f"fuzz inject smoke OK: {data['soundness_failures']} finding(s), first reduced "
+      f"{f['insts_before']} -> {f['insts_after']} insts")
+EOF
+  # Run 3 — standalone replay of the persisted repro.
+  for r in "$fuzz_dir"/repros/*.ll; do
+    cargo run --release --offline -q -p llvm_md_bench --bin fuzz_campaign -- --replay "$r" \
+      > /dev/null
+    echo "replay OK: $r"
+  done
 fi
 
 echo "OK: all checks passed"

@@ -15,6 +15,7 @@
 //! | §5.4 | `ablation_cycle_matching` | unification vs partitioning vs combined |
 //! | Table 2 | `table2_triage` | alarm-triage rates per rule ablation: suite false alarms vs injected-bug catches |
 //! | Table 3 | `table3_chain` | end-to-end vs per-pass chained validation (rates, wall-clock, cache hits) + injected-bug pass blame |
+//! | fuzzing | `fuzz_campaign` | differential fuzzing campaign: per-profile validation rates, soundness findings with minimized replayable repros (`--inject`, `--replay`) |
 //!
 //! Micro-benchmarks (gating, normalization, end-to-end validation at
 //! several function sizes) live in `benches/micro.rs`, driven by the
@@ -51,6 +52,24 @@ pub fn usize_flag(flag: &str, default: usize) -> usize {
 /// Parse a `--scale N` argument (default 4).
 pub fn scale_from_args() -> usize {
     usize_flag("--scale", 4)
+}
+
+/// Parse a string-valued `<flag> VALUE` command-line argument.
+pub fn str_flag(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Parse a `u64`-valued `<flag> N` argument; decimal and `0x`-prefixed hex
+/// are both accepted (campaign seeds print as hex). Falls back to
+/// `default` when absent or malformed.
+pub fn u64_flag(flag: &str, default: u64) -> u64 {
+    str_flag(flag)
+        .and_then(|v| {
+            v.strip_prefix("0x")
+                .map_or_else(|| v.parse::<u64>().ok(), |h| u64::from_str_radix(h, 16).ok())
+        })
+        .unwrap_or(default)
 }
 
 /// The benchmark suite at `1/scale` of the profile function counts (a

@@ -42,16 +42,9 @@ use lir::func::{Function, Module};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// FNV-1a over `bytes` (the offset-basis/prime pair of
-/// `tests/determinism.rs`, so the two fingerprint idioms in the repo agree).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// The one FNV-1a implementation (shared with campaign seed derivation and
+// the `tests/determinism.rs` fingerprint idiom, so they can never diverge).
+use llvm_md_workload::rng::fnv1a;
 
 /// The structural fingerprint of a function: FNV-1a over its canonicalized
 /// printed form. Two functions that differ only in register numbering,

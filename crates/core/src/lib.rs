@@ -61,7 +61,7 @@ pub use cache::{fingerprint, fingerprint_canonical, module_fingerprints, CacheSt
 pub use cycles::MatchStrategy;
 pub use graph::SharedGraph;
 pub use rules::{RewriteCounts, RuleBudgets, RuleSet};
-pub use triage::{Triage, TriageClass, TriageOptions, TriagedVerdict, Witness};
+pub use triage::{Triage, TriageClass, TriageOptions, TriagedVerdict, VerdictClass, Witness};
 pub use validate::{
     validate, Deadline, DivergentRoots, FailReason, Limits, ValidationStats, Validator, Verdict,
 };

@@ -177,6 +177,56 @@ impl TriagedVerdict {
     pub fn validated(&self) -> bool {
         self.verdict.validated
     }
+
+    /// The pair's [`VerdictClass`] — the projection differential-fuzzing
+    /// oracles compare.
+    pub fn class(&self) -> VerdictClass {
+        match &self.triage {
+            None => VerdictClass::Validated,
+            Some(t) if t.class == TriageClass::RealMiscompile => VerdictClass::RealMiscompile,
+            Some(_) => VerdictClass::SuspectedIncomplete,
+        }
+    }
+}
+
+/// The three-way outcome of validating *and* triaging one function pair —
+/// the oracle alphabet of the differential-fuzzing campaign: a fuzzed
+/// module is *interesting* when some pair's class is
+/// [`VerdictClass::RealMiscompile`] (soundness finding) and the reducer
+/// shrinks it while that class is preserved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictClass {
+    /// The validator proved the pair equivalent.
+    Validated,
+    /// Validation failed but the triage battery found no divergence: a
+    /// suspected validator incompleteness (the paper's false alarm).
+    SuspectedIncomplete,
+    /// Validation failed *and* differential interpretation produced a
+    /// witness: the pair observably diverges.
+    RealMiscompile,
+}
+
+impl std::fmt::Display for VerdictClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerdictClass::Validated => f.write_str("validated"),
+            VerdictClass::SuspectedIncomplete => f.write_str("suspected-incomplete"),
+            VerdictClass::RealMiscompile => f.write_str("real-miscompile"),
+        }
+    }
+}
+
+impl std::str::FromStr for VerdictClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "validated" => Ok(VerdictClass::Validated),
+            "suspected-incomplete" => Ok(VerdictClass::SuspectedIncomplete),
+            "real-miscompile" => Ok(VerdictClass::RealMiscompile),
+            other => Err(format!("unknown verdict class `{other}`")),
+        }
+    }
 }
 
 /// Build the two interpretation environments for a function pair: `env`
@@ -279,15 +329,11 @@ fn sample_args(f: &Function, row: usize, rng: &mut SplitMix64) -> Vec<u64> {
     f.params.iter().map(|&(_, ty)| sample_arg(ty, row, rng)).collect()
 }
 
-/// Stable 64-bit hash of the function name (FNV-1a), used to give sibling
-/// functions distinct deterministic batteries from one seed.
+/// Stable 64-bit hash of the function name (the shared
+/// [`llvm_md_workload::rng::fnv1a`]), used to give sibling functions
+/// distinct deterministic batteries from one seed.
 fn name_hash(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    llvm_md_workload::rng::fnv1a(name.as_bytes())
 }
 
 /// Shrink candidates for one coordinate, simplest first.
@@ -406,6 +452,21 @@ impl Validator {
         }
         let triage = triage_alarm(env, original, optimized, &verdict, opts);
         TriagedVerdict { verdict, triage: Some(triage) }
+    }
+
+    /// Classify one function pair in one call: validate, triage on failure,
+    /// and project to the three-way [`VerdictClass`]. This is the oracle
+    /// entry point the fuzzing campaign and the repro reducer share — a
+    /// candidate module stays *interesting* exactly when this class is
+    /// preserved.
+    pub fn classify(
+        &self,
+        env: &Module,
+        original: &Function,
+        optimized: &Function,
+        opts: &TriageOptions,
+    ) -> VerdictClass {
+        self.validate_triaged(env, original, optimized, opts).class()
     }
 }
 

@@ -75,8 +75,13 @@
 //! the paper's splice already restored the original).
 
 pub mod chain;
+pub mod fuzz;
 
 pub use chain::{Blame, ChainReport, ChainStep, ChainValidator, Composition};
+pub use fuzz::{
+    campaign_pass_manager, parse_repro, replay_repro, repro_to_string, CampaignConfig,
+    CampaignReport, Finding, FindingKind, FuzzCampaign, ProfileStats, ReplayOutcome, Repro,
+};
 
 use lir::func::{Function, Module};
 use lir_opt::PassManager;
@@ -633,6 +638,31 @@ impl ValidationEngine {
         pm: &PassManager,
         validator: &Validator,
     ) -> Vec<(Module, Report)> {
+        self.validate_corpus_impl(inputs, pm, validator, None)
+    }
+
+    /// [`ValidationEngine::validate_corpus`] with alarm triage: every
+    /// paired alarm of every module carries a [`Triage`] classification
+    /// (see [`ValidationEngine::llvm_md_triaged`]), computed on the same
+    /// flat worker batch — the entry point the differential-fuzzing
+    /// campaign streams its generated corpora through.
+    pub fn validate_corpus_triaged(
+        &self,
+        inputs: &[Module],
+        pm: &PassManager,
+        validator: &Validator,
+        opts: &TriageOptions,
+    ) -> Vec<(Module, Report)> {
+        self.validate_corpus_impl(inputs, pm, validator, Some(opts))
+    }
+
+    fn validate_corpus_impl(
+        &self,
+        inputs: &[Module],
+        pm: &PassManager,
+        validator: &Validator,
+        triage: Option<&TriageOptions>,
+    ) -> Vec<(Module, Report)> {
         // Stage 1: optimize, one work unit per module.
         let optimized: Vec<(Module, Duration)> = self.run_jobs(inputs, |m| {
             let mut out = m.clone();
@@ -652,7 +682,7 @@ impl ValidationEngine {
             }
             pairings.push(pairing);
         }
-        let verdicts = self.validate_jobs(&flat, validator, None);
+        let verdicts = self.validate_jobs(&flat, validator, triage);
         // Stage 3: demultiplex verdicts back per module, splice, report.
         let mut per_module: Vec<(Vec<PairJob>, Vec<TriagedOutcome>)> =
             (0..inputs.len()).map(|_| (Vec::new(), Vec::new())).collect();

@@ -39,7 +39,14 @@ impl std::error::Error for ParseError {}
 /// parser does not run the [verifier](crate::verify); call it separately for
 /// semantic SSA checks.
 pub fn parse_module(src: &str) -> Result<Module, ParseError> {
-    Parser::new(src)?.module()
+    let mut m = Parser::new(src)?.module()?;
+    // The printer records the module name as a `; module <name>` header
+    // comment (see `crate::print`); recover it so print → parse round-trips
+    // the name — repro files and campaign artifacts key on it.
+    if let Some(name) = src.lines().find_map(|l| l.trim().strip_prefix("; module ")) {
+        m.name = name.trim().to_owned();
+    }
+    Ok(m)
 }
 
 #[derive(Clone, Debug, PartialEq)]

@@ -1,0 +1,199 @@
+//! Differential-fuzzing campaign inputs: named shape profiles and the
+//! seeded module stream campaigns draw from.
+//!
+//! The pinned Table-1 suite ([`mod@crate::profiles`]) exercises a narrow slice
+//! of program shapes, so validator incompleteness (and injected-bug
+//! sensitivity) outside it is unmeasured. This module widens the generator
+//! along the axes the validator's rules are most sensitive to, each as a
+//! **named profile** so campaigns are seed-reproducible end to end:
+//!
+//! | profile | axis | stresses |
+//! |---|---|---|
+//! | `mem-web` | GEP chains with interleaved loads/stores | DSE, mem2reg, alias rules |
+//! | `deep-loops` | nested loops with unswitchable guards | μ/η rules, LICM, unswitch |
+//! | `switch-dense` | wide switch dispatch | γ-rules, SCCP, simplifycfg |
+//! | `phi-web` | many φs per join | φ-simplification, GVN |
+//! | `trap-rich` | register-divisor `sdiv`/`srem` | the trap guarantee boundary |
+//! | `mixed` | everything at once | pass interactions |
+//!
+//! A campaign module is addressed by `(profile, campaign seed, index)`:
+//! [`campaign_module`] derives a per-module generation seed from all three,
+//! so any module a campaign ever produced can be regenerated from its repro
+//! header alone — the replayable-corpus property the reducer and the
+//! `fuzz_campaign` bench bin build on.
+
+use crate::gen::generate;
+use crate::profiles::{base_profile, Profile};
+use lir::func::Module;
+
+/// The default campaign seed, committed so `BENCH_fuzz.json` and the CI
+/// fuzz smoke are reproducible. Change it only together with the committed
+/// artifact.
+pub const DEFAULT_CAMPAIGN_SEED: u64 = 0xfa22_c0de_2026_0731;
+
+/// Functions per campaign module. Small on purpose: a campaign wants many
+/// diverse modules over few large ones, and the reducer starts closer to
+/// minimal.
+pub const CAMPAIGN_FUNCTIONS: usize = 4;
+
+/// The named fuzz profiles, in a fixed order (see the module docs table).
+pub fn fuzz_profiles() -> Vec<Profile> {
+    let base = Profile { functions: CAMPAIGN_FUNCTIONS, tail_prob: 0.02, ..base_profile() };
+    vec![
+        Profile {
+            name: "mem-web",
+            seed: 101,
+            mem_prob: 0.6,
+            gep_web_prob: 0.5,
+            libc_prob: 0.15,
+            loop_prob: 0.25,
+            ..base
+        },
+        Profile {
+            name: "deep-loops",
+            seed: 102,
+            loop_prob: 0.7,
+            max_depth: 5,
+            nest_prob: 0.6,
+            guard_prob: 0.7,
+            avg_segment: 4,
+            ..base
+        },
+        Profile {
+            name: "switch-dense",
+            seed: 103,
+            switch_prob: 0.5,
+            branch_prob: 0.3,
+            switch_cases: 8,
+            avg_segment: 4,
+            ..base
+        },
+        Profile {
+            name: "phi-web",
+            seed: 104,
+            branch_prob: 0.6,
+            switch_prob: 0.15,
+            phi_web: 3,
+            ..base
+        },
+        Profile {
+            name: "trap-rich",
+            seed: 105,
+            trap_prob: 0.25,
+            branch_prob: 0.5,
+            loop_prob: 0.4,
+            ..base
+        },
+        Profile {
+            name: "mixed",
+            seed: 106,
+            mem_prob: 0.45,
+            gep_web_prob: 0.25,
+            loop_prob: 0.45,
+            max_depth: 4,
+            nest_prob: 0.4,
+            guard_prob: 0.5,
+            switch_prob: 0.25,
+            switch_cases: 6,
+            phi_web: 2,
+            trap_prob: 0.1,
+            float_prob: 0.15,
+            libc_prob: 0.12,
+            ..base
+        },
+    ]
+}
+
+/// Look up one fuzz profile by (case-insensitive) name.
+pub fn fuzz_profile(name: &str) -> Option<Profile> {
+    fuzz_profiles().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+use crate::rng::fnv1a;
+
+/// The generation seed of campaign module `(profile, campaign_seed, index)`.
+pub fn module_seed(profile: &Profile, campaign_seed: u64, index: usize) -> u64 {
+    campaign_seed
+        ^ fnv1a(profile.name.as_bytes())
+        ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ profile.seed.rotate_left(32)
+}
+
+/// Generate campaign module `index` of `profile` under `campaign_seed`.
+/// The module is named `<profile>-<index>`, so repros are self-describing,
+/// and the same triple always regenerates the identical module.
+pub fn campaign_module(profile: &Profile, campaign_seed: u64, index: usize) -> Module {
+    let p = Profile { seed: module_seed(profile, campaign_seed, index), ..*profile };
+    let mut m = generate(&p);
+    m.name = format!("{}-{index:05}", profile.name.to_lowercase());
+    m
+}
+
+/// The whole per-profile stream: `count` modules of `profile`.
+pub fn campaign_modules(profile: &Profile, campaign_seed: u64, count: usize) -> Vec<Module> {
+    (0..count).map(|i| campaign_module(profile, campaign_seed, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_named_and_distinct() {
+        let ps = fuzz_profiles();
+        assert!(ps.len() >= 5, "the campaign needs at least five named shape axes");
+        let mut names: Vec<&str> = ps.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ps.len(), "profile names must be unique");
+        let mut seeds: Vec<u64> = ps.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), ps.len(), "profile seeds must be distinct");
+        assert!(fuzz_profile("MEM-WEB").is_some());
+        assert!(fuzz_profile("nope").is_none());
+    }
+
+    #[test]
+    fn every_profile_generates_verifier_clean_modules() {
+        for p in fuzz_profiles() {
+            for i in 0..3 {
+                let m = campaign_module(&p, DEFAULT_CAMPAIGN_SEED, i);
+                assert_eq!(m.functions.len(), CAMPAIGN_FUNCTIONS);
+                lir::verify::verify_module(&m)
+                    .unwrap_or_else(|e| panic!("{} module {i}: {e:?}", p.name));
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_modules_are_seed_stable_and_index_distinct() {
+        let p = fuzz_profile("mixed").unwrap();
+        let a = campaign_module(&p, 7, 3);
+        let b = campaign_module(&p, 7, 3);
+        assert_eq!(format!("{a}"), format!("{b}"), "same triple, same module");
+        let c = campaign_module(&p, 7, 4);
+        assert_ne!(format!("{a}"), format!("{c}"), "indices must differ");
+        let d = campaign_module(&p, 8, 3);
+        assert_ne!(format!("{a}"), format!("{d}"), "campaign seeds must differ");
+        assert_eq!(a.name, "mixed-00003");
+    }
+
+    #[test]
+    fn profiles_show_their_axis() {
+        let count = |m: &Module, what: &str| -> usize {
+            m.functions.iter().map(|f| format!("{f}").matches(what).count()).sum()
+        };
+        let modules = |name: &str| campaign_modules(&fuzz_profile(name).unwrap(), 0, 8);
+        let geps: usize = modules("mem-web").iter().map(|m| count(m, "gep")).sum();
+        assert!(geps > 8, "mem-web must be gep-dense, saw {geps}");
+        let switches: usize = modules("switch-dense").iter().map(|m| count(m, "switch")).sum();
+        assert!(switches > 4, "switch-dense must emit switches, saw {switches}");
+        let phis: usize = modules("phi-web").iter().map(|m| count(m, "phi")).sum();
+        let base_phis: usize = modules("mem-web").iter().map(|m| count(m, "phi")).sum();
+        assert!(phis > base_phis, "phi-web must out-phi mem-web ({phis} vs {base_phis})");
+        let divs: usize =
+            modules("trap-rich").iter().map(|m| count(m, "sdiv") + count(m, "srem")).sum();
+        assert!(divs > 4, "trap-rich must emit divisions, saw {divs}");
+    }
+}

@@ -196,6 +196,17 @@ impl Gen<'_> {
     }
 
     fn gen_arith(&mut self) {
+        // Trap-rich axis: a division whose divisor is a *register*, so the
+        // interpreter can trap on it. Gated on the probability being
+        // nonzero so Table-1 profiles draw exactly their historical stream.
+        if self.p.trap_prob > 0.0 && self.rng.gen_bool(self.p.trap_prob) {
+            let a = self.pick_int();
+            let b = self.pick_int();
+            let op = if self.rng.gen_bool(0.5) { BinOp::SDiv } else { BinOp::SRem };
+            let v = self.b.bin(op, Ty::I64, a, b);
+            self.ints.push(v);
+            return;
+        }
         let a = self.pick_int();
         // Bias toward redundancy: reuse operands so GVN has work to do, and
         // periodically emit a literal common subexpression.
@@ -271,7 +282,38 @@ impl Gen<'_> {
         }
     }
 
+    /// A GEP web: a chain of offset pointers into one writable buffer with
+    /// interleaved stores and loads (mem2reg/DSE/alias stress). Offsets
+    /// accumulate but stay inside the buffer.
+    fn gen_gep_web(&mut self) {
+        let (base, room) = if !self.allocas.is_empty() && self.rng.gen_bool(0.7) {
+            (self.allocas[self.rng.gen_range(0..self.allocas.len())], 4i64)
+        } else {
+            (Operand::Global(DATA), 8i64)
+        };
+        let hops = self.rng.gen_range(2..=4usize);
+        self.budget = self.budget.saturating_sub(hops);
+        let mut ptr = base;
+        let mut used = 0i64;
+        for _ in 0..hops {
+            let step = self.rng.gen_range(0..=(room - 1 - used).max(0));
+            used += step;
+            ptr = self.b.gep(ptr, Operand::int(Ty::I64, step * 8));
+            if self.rng.gen_bool(0.5) {
+                let v = self.pick_int();
+                self.b.store(Ty::I64, v, ptr);
+            } else {
+                let v = self.b.load(Ty::I64, ptr);
+                self.ints.push(v);
+            }
+        }
+    }
+
     fn gen_mem_op(&mut self) {
+        if self.p.gep_web_prob > 0.0 && self.rng.gen_bool(self.p.gep_web_prob) {
+            self.gen_gep_web();
+            return;
+        }
         let ptr = self.pick_ptr();
         let writable = !matches!(ptr, Operand::Global(TABLE))
             && !is_gep_of(&self.b, ptr, Operand::Global(TABLE));
@@ -343,7 +385,10 @@ impl Gen<'_> {
         let fpool = self.floats.len();
         self.b.switch_to(then_b);
         self.region(depth + 1);
-        let tv = self.pick_int();
+        // φ-web axis: every join merges 1 + phi_web values per arm. The
+        // first pick is the historical single merge value, so phi_web = 0
+        // reproduces the legacy stream exactly.
+        let tvs: Vec<Operand> = (0..=self.p.phi_web).map(|_| self.pick_int()).collect();
         let t_end = self.b.current();
         self.b.br(join);
         self.ints.truncate(pool);
@@ -361,23 +406,27 @@ impl Gen<'_> {
             self.ints.truncate(pool);
             self.floats.truncate(fpool);
             self.b.switch_to(join);
-            let phi = self.b.phi(join, Ty::I64);
-            self.b.add_incoming(join, phi, t_end, tv);
-            self.ints.push(phi);
+            for &tv in &tvs {
+                let phi = self.b.phi(join, Ty::I64);
+                self.b.add_incoming(join, phi, t_end, tv);
+                self.ints.push(phi);
+            }
             return;
         }
         self.region(depth + 1);
-        let ev = self.pick_int();
+        let evs: Vec<Operand> = (0..=self.p.phi_web).map(|_| self.pick_int()).collect();
         let e_end = self.b.current();
         self.b.br(join);
         self.ints.truncate(pool);
         self.floats.truncate(fpool);
 
         self.b.switch_to(join);
-        let phi = self.b.phi(join, Ty::I64);
-        self.b.add_incoming(join, phi, t_end, tv);
-        self.b.add_incoming(join, phi, e_end, ev);
-        self.ints.push(phi);
+        for (&tv, &ev) in tvs.iter().zip(&evs) {
+            let phi = self.b.phi(join, Ty::I64);
+            self.b.add_incoming(join, phi, t_end, tv);
+            self.b.add_incoming(join, phi, e_end, ev);
+            self.ints.push(phi);
+        }
     }
 
     /// A bounded counting loop with an accumulator; sometimes an invariant
@@ -432,13 +481,13 @@ impl Gen<'_> {
             let v = self.b.call(Ty::I64, "strlen", vec![(Ty::Ptr, Operand::Global(STR))]);
             self.ints.push(v);
         }
-        if depth + 1 < self.p.max_depth && self.rng.gen_bool(0.25) && self.budget >= 8 {
+        if depth + 1 < self.p.max_depth && self.rng.gen_bool(self.p.nest_prob) && self.budget >= 8 {
             self.gen_loop(depth + 1);
         } else {
             self.gen_straight();
         }
         // Invariant branch in the body (unswitch fodder).
-        let acc2 = if self.rng.gen_bool(0.25) && pool > 0 {
+        let acc2 = if self.rng.gen_bool(self.p.guard_prob) && pool > 0 {
             let inv = self.ints[self.rng.gen_range(0..pool)];
             let cond = self.b.icmp(IcmpPred::Sgt, Ty::I64, inv, Operand::int(Ty::I64, 0));
             let x = self.pick_int();
@@ -476,8 +525,13 @@ impl Gen<'_> {
     fn gen_switch(&mut self, depth: usize) {
         self.budget = self.budget.saturating_sub(4);
         let v = self.pick_int();
-        let scr = self.b.bin(BinOp::And, Ty::I64, v, Operand::int(Ty::I64, 3));
-        let n_cases = self.rng.gen_range(2..=3);
+        // The scrutinee mask covers every case value; `3` is the pinned
+        // Table-1 shape, wider switch-dense profiles mask to the next
+        // power of two above their case cap.
+        let cap = self.p.switch_cases.max(2);
+        let mask = if cap <= 3 { 3 } else { ((cap as u64 + 1).next_power_of_two() - 1) as i64 };
+        let scr = self.b.bin(BinOp::And, Ty::I64, v, Operand::int(Ty::I64, mask));
+        let n_cases = self.rng.gen_range(2..=cap);
         let mut cases = Vec::new();
         let mut case_blocks = Vec::new();
         for k in 0..n_cases {
@@ -490,24 +544,28 @@ impl Gen<'_> {
         self.b.switch(Ty::I64, scr, default, cases);
         let pool = self.ints.len();
         let fpool = self.floats.len();
-        let phi = self.b.phi(join, Ty::I64);
+        let phis: Vec<_> = (0..=self.p.phi_web).map(|_| self.b.phi(join, Ty::I64)).collect();
         for blk in case_blocks {
             self.b.switch_to(blk);
             self.region(depth + 1);
-            let cv = self.pick_int();
+            let cvs: Vec<Operand> = (0..=self.p.phi_web).map(|_| self.pick_int()).collect();
             let end = self.b.current();
             self.b.br(join);
-            self.b.add_incoming(join, phi, end, cv);
+            for (&phi, &cv) in phis.iter().zip(&cvs) {
+                self.b.add_incoming(join, phi, end, cv);
+            }
             self.ints.truncate(pool);
             self.floats.truncate(fpool);
         }
         self.b.switch_to(default);
-        let dv = self.pick_int();
+        let dvs: Vec<Operand> = (0..=self.p.phi_web).map(|_| self.pick_int()).collect();
         let dend = self.b.current();
         self.b.br(join);
-        self.b.add_incoming(join, phi, dend, dv);
+        for (&phi, &dv) in phis.iter().zip(&dvs) {
+            self.b.add_incoming(join, phi, dend, dv);
+        }
         self.b.switch_to(join);
-        self.ints.push(phi);
+        self.ints.extend(phis.iter().copied());
     }
 }
 

@@ -13,7 +13,13 @@
 //! * [`inject`] — deliberately miscompiled module pairs (broken pass
 //!   variants) as ground truth for the alarm-triage layer;
 //! * [`batch`] — deterministic corpus/suite batching for the driver's
-//!   `validate_corpus` throughput entry point.
+//!   `validate_corpus` throughput entry point;
+//! * [`fuzz`] — named fuzzing profiles (GEP webs, deep loop nests, dense
+//!   switches, φ-webs, trap-rich paths) and the seeded
+//!   `(profile, campaign seed, index)`-addressed module stream
+//!   differential-fuzzing campaigns draw from;
+//! * [`reduce`] — an oracle-generic, outcome-preserving delta debugger
+//!   that shrinks interesting modules to minimal repros.
 //!
 //! # Example
 //!
@@ -30,17 +36,24 @@
 
 pub mod batch;
 pub mod corpus;
+pub mod fuzz;
 pub mod gen;
 pub mod inject;
 pub mod profiles;
+pub mod reduce;
 pub mod rng;
 
 pub use batch::{corpus_batch, generate_suite, suite_batch};
 pub use corpus::{corpus, corpus_modules};
+pub use fuzz::{
+    campaign_module, campaign_modules, fuzz_profile, fuzz_profiles, CAMPAIGN_FUNCTIONS,
+    DEFAULT_CAMPAIGN_SEED,
+};
 pub use gen::generate;
 pub use inject::{injected_corpus, injected_paper_corpus, BrokenPass, BugKind, InjectedBug};
 pub use profiles::{
-    paper_schedule, profile, profiles, schedules, shuffled_schedule, singleton_schedules, PaperRow,
-    Profile, Schedule, PAPER_PASSES,
+    base_profile, paper_schedule, profile, profiles, schedules, shuffled_schedule,
+    singleton_schedules, PaperRow, Profile, Schedule, PAPER_PASSES,
 };
+pub use reduce::{reduce_module, ReduceOptions, ReduceStats};
 pub use rng::SplitMix64;

@@ -63,11 +63,37 @@ pub struct Profile {
     pub tail_prob: f64,
     /// Maximum region nesting depth.
     pub max_depth: usize,
+    /// Probability that a memory op expands into a GEP *web*: a chain of
+    /// offset pointers into one buffer with interleaved loads and stores
+    /// (mem2reg/DSE stress). `0.0` in the Table-1 profiles — the fuzz axes
+    /// below must not perturb their pinned generation streams.
+    pub gep_web_prob: f64,
+    /// Extra φ-nodes emitted at every if/switch join beyond the one the
+    /// region always produces (φ-web stress for the normalizer's φ rules).
+    /// `0` in the Table-1 profiles.
+    pub phi_web: usize,
+    /// Probability that an arithmetic op is a *potentially trapping*
+    /// division (`sdiv`/`srem` with a register divisor). The reference
+    /// interpreter traps on a zero divisor, so this axis exercises the
+    /// validator's trap guarantee boundary. `0.0` in the Table-1 profiles.
+    pub trap_prob: f64,
+    /// Maximum number of switch cases (the Table-1 profiles pin the
+    /// historical `3`; switch-dense fuzz profiles raise it).
+    pub switch_cases: usize,
+    /// Probability that a loop body contains an invariant guard
+    /// (unswitch fodder). The historical generator hard-coded `0.25`.
+    pub guard_prob: f64,
+    /// Probability that a loop body nests another loop (subject to
+    /// `max_depth`). The historical generator hard-coded `0.25`; the
+    /// deep-loops fuzz profile raises both.
+    pub nest_prob: f64,
 }
 
-/// The twelve benchmarks of Table 1.
-pub fn profiles() -> Vec<Profile> {
-    let base = Profile {
+/// The neutral profile every other profile derives from (Table-1 defaults
+/// for the legacy axes, all fuzz axes off). Exposed so [`crate::fuzz`] can
+/// build its campaign profiles from the same baseline.
+pub fn base_profile() -> Profile {
+    Profile {
         name: "",
         paper: PaperRow { size: "", loc_k: 0, functions: 0 },
         functions: 10,
@@ -81,7 +107,18 @@ pub fn profiles() -> Vec<Profile> {
         float_prob: 0.05,
         tail_prob: 0.06,
         max_depth: 3,
-    };
+        gep_web_prob: 0.0,
+        phi_web: 0,
+        trap_prob: 0.0,
+        switch_cases: 3,
+        guard_prob: 0.25,
+        nest_prob: 0.25,
+    }
+}
+
+/// The twelve benchmarks of Table 1.
+pub fn profiles() -> Vec<Profile> {
+    let base = base_profile();
     let scale = |n: u32| ((n / 12).max(10)) as usize;
     vec![
         Profile {

@@ -1,0 +1,319 @@
+//! Outcome-preserving delta debugging: shrink a module while an oracle
+//! stays interested.
+//!
+//! A fuzzing campaign that finds an interesting module (a miscompile, a
+//! chain inconsistency, a validator incompleteness worth filing) wants the
+//! *smallest* module that still exhibits it. [`reduce_module`] is a greedy
+//! delta debugger over `lir` modules: it proposes structural shrinks —
+//! drop a function, collapse a conditional branch or switch to one
+//! successor (then prune the unreachable blocks), drop a φ, drop an
+//! instruction — and keeps every candidate that (a) still passes
+//! [`lir::verify::verify_module`] and (b) the caller's **oracle** still
+//! accepts. The oracle is an opaque predicate, so the same reducer
+//! minimizes miscompile repros ("triage still classifies function F as a
+//! real miscompile"), incompleteness repros ("validation still fails with
+//! reason R"), or anything else a campaign can phrase as a re-check.
+//!
+//! Reduction is deterministic: candidates are proposed in a fixed order and
+//! the first accepted one restarts the scan, so the same input module and
+//! oracle always shrink to the same result — repro corpora stay stable
+//! across reruns. Oracle calls are the cost unit; [`ReduceOptions::budget`]
+//! bounds them (verifier-rejected candidates are free and uncounted).
+
+use lir::func::{Block, BlockId, Function, Module, Phi};
+use lir::inst::Term;
+use lir::verify::verify_module;
+
+/// Bounds for one reduction run.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceOptions {
+    /// Maximum number of oracle invocations (verifier-rejected candidates
+    /// do not count). The reducer returns the best module found so far
+    /// when the budget runs out.
+    pub budget: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions { budget: 2000 }
+    }
+}
+
+/// What one reduction run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Oracle invocations spent.
+    pub oracle_calls: usize,
+    /// Candidates the oracle accepted (= shrink steps taken).
+    pub accepted: usize,
+    /// Candidates rejected by the verifier before reaching the oracle.
+    pub verifier_rejected: usize,
+    /// Instruction count before reduction.
+    pub insts_before: usize,
+    /// Instruction count after reduction.
+    pub insts_after: usize,
+}
+
+/// One proposed shrink of the current module.
+enum Edit {
+    /// Remove function `f` entirely.
+    DropFunction(usize),
+    /// Replace function `f`'s block `b` terminator by `br` to successor
+    /// `succ` (by position in `successors()`), then prune unreachable
+    /// blocks.
+    CollapseTerm(usize, usize, usize),
+    /// Remove φ `p` of block `b` of function `f`.
+    DropPhi(usize, usize, usize),
+    /// Remove instruction `i` of block `b` of function `f`.
+    DropInst(usize, usize, usize),
+}
+
+/// Enumerate every applicable edit of `m`, in the fixed proposal order
+/// (coarse to fine: functions, then control flow, then φs, then single
+/// instructions).
+fn propose(m: &Module) -> Vec<Edit> {
+    let mut edits = Vec::new();
+    if m.functions.len() > 1 {
+        for fi in 0..m.functions.len() {
+            edits.push(Edit::DropFunction(fi));
+        }
+    }
+    for (fi, f) in m.functions.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let succs = b.term.successors();
+            if succs.len() > 1 {
+                for si in 0..succs.len() {
+                    edits.push(Edit::CollapseTerm(fi, bi, si));
+                }
+            }
+        }
+    }
+    for (fi, f) in m.functions.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for pi in 0..b.phis.len() {
+                edits.push(Edit::DropPhi(fi, bi, pi));
+            }
+            for ii in 0..b.insts.len() {
+                edits.push(Edit::DropInst(fi, bi, ii));
+            }
+        }
+    }
+    edits
+}
+
+/// Apply `edit` to a copy of `m`. Returns `None` when the edit would
+/// obviously produce garbage (e.g. collapsing the entry out of existence).
+fn apply(m: &Module, edit: &Edit) -> Option<Module> {
+    let mut out = m.clone();
+    match *edit {
+        Edit::DropFunction(fi) => {
+            out.functions.remove(fi);
+        }
+        Edit::CollapseTerm(fi, bi, si) => {
+            let f = &mut out.functions[fi];
+            let succs = f.blocks[bi].term.successors();
+            let target = *succs.get(si)?;
+            f.blocks[bi].term = Term::Br { target };
+            prune_unreachable(f)?;
+        }
+        Edit::DropPhi(fi, bi, pi) => {
+            out.functions[fi].blocks[bi].phis.remove(pi);
+        }
+        Edit::DropInst(fi, bi, ii) => {
+            out.functions[fi].blocks[bi].insts.remove(ii);
+        }
+    }
+    Some(out)
+}
+
+/// Remove blocks unreachable from the entry, remapping every [`BlockId`]
+/// and dropping φ-incomings from removed predecessors. Returns `None` when
+/// the entry itself would vanish (cannot happen — kept for safety).
+fn prune_unreachable(f: &mut Function) -> Option<()> {
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![f.entry()];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reachable[b.index()], true) {
+            continue;
+        }
+        stack.extend(f.blocks[b.index()].term.successors());
+    }
+    if reachable.iter().all(|&r| r) {
+        return Some(()); // nothing to prune
+    }
+    let mut remap: Vec<Option<BlockId>> = vec![None; n];
+    let mut kept: Vec<Block> = Vec::new();
+    for (i, b) in f.blocks.drain(..).enumerate() {
+        if reachable[i] {
+            remap[i] = Some(BlockId(kept.len() as u32));
+            kept.push(b);
+        }
+    }
+    for b in &mut kept {
+        for phi in &mut b.phis {
+            phi.incomings.retain(|(p, _)| remap[p.index()].is_some());
+        }
+        b.phis.retain(|p: &Phi| !p.incomings.is_empty());
+        for phi in &mut b.phis {
+            for (p, _) in &mut phi.incomings {
+                *p = remap[p.index()]?;
+            }
+        }
+        b.term.map_successors(|s| *s = remap[s.index()].expect("successor reachable"));
+    }
+    f.blocks = kept;
+    remap[0].map(|_| ())
+}
+
+/// Greedily shrink `m` while `oracle` stays interested.
+///
+/// The input module must itself satisfy the oracle — the reducer asserts
+/// this with the first oracle call and returns the input unchanged (with
+/// `accepted == 0`) if it does not, so a campaign never "minimizes" a
+/// non-repro into noise. Every intermediate result passes the verifier and
+/// the oracle, so the final module carries exactly the original's
+/// interesting behaviour class.
+pub fn reduce_module<F>(m: &Module, mut oracle: F, opts: &ReduceOptions) -> (Module, ReduceStats)
+where
+    F: FnMut(&Module) -> bool,
+{
+    let mut stats = ReduceStats { insts_before: m.inst_count(), ..ReduceStats::default() };
+    let mut cur = m.clone();
+    stats.oracle_calls += 1;
+    if !oracle(&cur) {
+        stats.insts_after = stats.insts_before;
+        return (cur, stats);
+    }
+    'outer: loop {
+        if stats.oracle_calls >= opts.budget {
+            break;
+        }
+        for edit in propose(&cur) {
+            if stats.oracle_calls >= opts.budget {
+                break 'outer;
+            }
+            let Some(cand) = apply(&cur, &edit) else { continue };
+            if verify_module(&cand).is_err() {
+                stats.verifier_rejected += 1;
+                continue;
+            }
+            stats.oracle_calls += 1;
+            if oracle(&cand) {
+                stats.accepted += 1;
+                cur = cand;
+                continue 'outer; // restart the scan from the smaller module
+            }
+        }
+        break; // fixpoint: no proposed edit is accepted
+    }
+    stats.insts_after = cur.inst_count();
+    (cur, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::parse::parse_module;
+
+    fn module(src: &str) -> Module {
+        parse_module(src).expect("parse")
+    }
+
+    #[test]
+    fn drops_uninteresting_functions_and_insts() {
+        let m = module(
+            "define i64 @keep(i64 %a) {\n\
+             entry:\n  %x = add i64 %a, 1\n  %dead = mul i64 %a, 7\n  ret i64 %x\n\
+             }\n\
+             define i64 @noise(i64 %a) {\nentry:\n  ret i64 %a\n}\n",
+        );
+        // Interesting = still contains a function named `keep` that adds.
+        let (red, stats) = reduce_module(
+            &m,
+            |c| c.function("keep").is_some_and(|f| format!("{f}").contains("add")),
+            &ReduceOptions::default(),
+        );
+        assert_eq!(red.functions.len(), 1, "noise function dropped");
+        assert_eq!(red.functions[0].name, "keep");
+        assert!(
+            !format!("{}", red.functions[0]).contains("mul"),
+            "dead mul dropped:\n{}",
+            red.functions[0]
+        );
+        assert!(stats.accepted >= 2);
+        assert!(stats.insts_after < stats.insts_before);
+        verify_module(&red).expect("reduced module verifies");
+    }
+
+    #[test]
+    fn collapses_branches_and_prunes_unreachable_blocks() {
+        let m = module(
+            "define i64 @f(i64 %a, i64 %b) {\n\
+             entry:\n  %c = icmp sgt i64 %a, %b\n  br i1 %c, label %l, label %r\n\
+             l:\n  %x = add i64 %a, 1\n  br label %j\n\
+             r:\n  %y = mul i64 %b, 2\n  br label %j\n\
+             j:\n  %p = phi i64 [ %x, %l ], [ %y, %r ]\n  ret i64 %p\n\
+             }\n",
+        );
+        // Interesting = still returns something that went through the add.
+        let (red, _) = reduce_module(
+            &m,
+            |c| c.functions.first().is_some_and(|f| format!("{f}").contains("add")),
+            &ReduceOptions::default(),
+        );
+        verify_module(&red).expect("reduced module verifies");
+        let text = format!("{}", red.functions[0]);
+        assert!(!text.contains("mul"), "untaken arm pruned:\n{text}");
+        assert!(!text.contains("br i1"), "branch collapsed:\n{text}");
+        assert!(red.functions[0].blocks.len() < m.functions[0].blocks.len());
+    }
+
+    #[test]
+    fn uninterested_input_is_returned_unchanged() {
+        let m = module("define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n");
+        let (red, stats) = reduce_module(&m, |_| false, &ReduceOptions::default());
+        assert_eq!(format!("{red}"), format!("{m}"));
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.oracle_calls, 1);
+    }
+
+    #[test]
+    fn budget_bounds_oracle_calls() {
+        let m = module(
+            "define i64 @f(i64 %a) {\n\
+             entry:\n  %x1 = add i64 %a, 1\n  %x2 = add i64 %x1, 1\n  %x3 = add i64 %x2, 1\n\
+             %x4 = add i64 %x3, 1\n  ret i64 %x4\n\
+             }\n",
+        );
+        let mut calls = 0usize;
+        let opts = ReduceOptions { budget: 3 };
+        let (_, stats) = reduce_module(
+            &m,
+            |_| {
+                calls += 1;
+                true
+            },
+            &opts,
+        );
+        assert!(stats.oracle_calls <= 3);
+        assert_eq!(calls, stats.oracle_calls);
+    }
+
+    #[test]
+    fn reduction_is_deterministic() {
+        let m = module(
+            "define i64 @f(i64 %a, i64 %b) {\n\
+             entry:\n  %c = icmp sgt i64 %a, %b\n  br i1 %c, label %l, label %r\n\
+             l:\n  %x = add i64 %a, 1\n  br label %j\n\
+             r:\n  %y = mul i64 %b, 2\n  br label %j\n\
+             j:\n  %p = phi i64 [ %x, %l ], [ %y, %r ]\n  ret i64 %p\n\
+             }\n",
+        );
+        let oracle = |c: &Module| c.functions.first().is_some_and(|f| !f.blocks.is_empty());
+        let (a, sa) = reduce_module(&m, oracle, &ReduceOptions::default());
+        let (b, sb) = reduce_module(&m, oracle, &ReduceOptions::default());
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_eq!(sa, sb);
+    }
+}

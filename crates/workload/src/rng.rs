@@ -22,6 +22,19 @@
 //! non-rejecting form keeps exactly one stream draw per sample (simpler to
 //! reason about for determinism).
 
+/// FNV-1a over `bytes`: the repo's one stable byte-string hash (seed
+/// material, structural fingerprints, per-function battery derivation all
+/// share this implementation — `llvm_md_core::cache` and the fuzz-campaign
+/// module addressing import it from here).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// SplitMix64: a tiny, fast, full-period 64-bit PRNG.
 #[derive(Clone, Debug)]
 pub struct SplitMix64 {

@@ -220,31 +220,64 @@ fn validation_is_reflexive() {
     });
 }
 
-/// Printer/parser round-trip on whole generated modules.
+/// Shared checker for the print → parse → print round-trip contract the
+/// reducer's repro persistence depends on: reparsing preserves the module
+/// name, globals, declarations, and every function's semantics (modulo
+/// register renumbering — the parser assigns numbers by first occurrence),
+/// and one reparse reaches a *print fixpoint* (the second and third
+/// printings are byte-identical).
+fn check_roundtrip(m: &lir::func::Module) -> Result<(), String> {
+    let p1 = format!("{m}");
+    let m2 = lir::parse::parse_module(&p1).map_err(|e| format!("reparse failed: {e:?}\n{p1}"))?;
+    ensure_eq!(m.name, m2.name, "module name lost in round trip");
+    ensure_eq!(m.globals, m2.globals, "globals changed in round trip");
+    ensure_eq!(m.declarations, m2.declarations, "declarations changed in round trip");
+    ensure_eq!(m.functions.len(), m2.functions.len(), "function count changed");
+    for (a, b) in m.functions.iter().zip(m2.functions.iter()) {
+        ensure_eq!(a.name, b.name, "function name changed");
+        ensure_eq!(
+            format!("{}", a.canonicalized()),
+            format!("{}", b.canonicalized()),
+            "round trip changed function semantics"
+        );
+    }
+    let p2 = format!("{m2}");
+    let m3 =
+        lir::parse::parse_module(&p2).map_err(|e| format!("re-reparse failed: {e:?}\n{p2}"))?;
+    ensure_eq!(p2, format!("{m3}"), "printing is not a fixpoint after one reparse");
+    Ok(())
+}
+
+/// Printer/parser round-trip on whole generated modules — Table-1 profiles
+/// *and* every named fuzz profile (the campaign's repro persistence rides
+/// on this for exactly the shapes the fuzz axes emit).
 #[test]
 fn print_parse_roundtrip() {
+    use llvm_md::workload::fuzz_profiles;
     harness::check("print_parse_roundtrip", harness::CASES, |rng| {
         let seed = rng.gen_range(0u64..200);
-        let mut p = profiles()[(seed % 12) as usize];
+        let fuzz = fuzz_profiles();
+        // Even cases draw a Table-1 profile, odd cases a fuzz profile.
+        let mut p = if seed % 2 == 0 {
+            profiles()[(seed as usize / 2) % 12]
+        } else {
+            fuzz[(seed as usize / 2) % fuzz.len()]
+        };
         p.functions = 2;
         p.seed = seed.wrapping_mul(0x9e37) + 7;
         let m = generate(&p);
-        let text = format!("{m}");
-        let reparsed = lir::parse::parse_module(&text)
-            .map_err(|e| format!("reparse failed: {e:?}\n{text}"))?;
-        // The parser assigns register numbers by first occurrence, so the
-        // round trip is compared modulo renumbering: canonicalized
-        // functions must print identically.
-        ensure_eq!(m.functions.len(), reparsed.functions.len(), "function count changed");
-        for (a, b) in m.functions.iter().zip(reparsed.functions.iter()) {
-            ensure_eq!(
-                format!("{}", a.canonicalized()),
-                format!("{}", b.canonicalized()),
-                "round trip changed function semantics"
-            );
-        }
-        Ok(())
+        check_roundtrip(&m)
     });
+}
+
+/// The pinned hand-written corpus round-trips too (every entry, including
+/// the gating-rejected `irreducible` one — the reducer may persist any of
+/// these shapes).
+#[test]
+fn corpus_roundtrips_through_printer() {
+    for (name, m) in llvm_md::workload::corpus_modules() {
+        check_roundtrip(&m).unwrap_or_else(|e| panic!("corpus entry `{name}`: {e}"));
+    }
 }
 
 /// Gating is name-independent: renumbering registers/blocks leaves the
