@@ -132,6 +132,71 @@ EOF
       > /dev/null
     echo "replay OK: $r"
   done
+
+  echo "==> serve smoke (repeat batch must be 100% store hits, byte-identical verdicts)"
+  # Two identical framed batches through `llvm-md serve --stdin` with an
+  # on-disk store: batch 1 validates, batch 2 must answer every function
+  # from the store (validations_run == 0) with byte-identical verdict
+  # lines.
+  serve_dir="$(mktemp -d)"
+  cat > "$serve_dir/orig.ll" <<'LL'
+; module smoke
+define i64 @double(i64 %x) {
+entry:
+  %r = add i64 %x, %x
+  ret i64 %r
+}
+
+define i64 @id(i64 %x) {
+entry:
+  ret i64 %x
+}
+LL
+  cat > "$serve_dir/opt.ll" <<'LL'
+; module smoke
+define i64 @double(i64 %x) {
+entry:
+  %r = shl i64 %x, 1
+  ret i64 %r
+}
+
+define i64 @id(i64 %x) {
+entry:
+  ret i64 %x
+}
+LL
+  python3 - "$serve_dir" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+orig = open(os.path.join(d, "orig.ll")).read()
+opt = open(os.path.join(d, "opt.ll")).read()
+with open(os.path.join(d, "requests.txt"), "w") as f:
+    for rid in ("b1", "b2"):
+        body = json.dumps({"schema_version": 1, "type": "validate", "id": rid,
+                           "original": orig, "optimized": opt}, separators=(",", ":"))
+        f.write(f"{len(body.encode())}\n{body}")
+    body = json.dumps({"schema_version": 1, "type": "shutdown", "id": "x"},
+                      separators=(",", ":"))
+    f.write(f"{len(body.encode())}\n{body}")
+EOF
+  cargo run --release --offline -q --bin llvm-md -- serve --stdin \
+    --store "$serve_dir/store" < "$serve_dir/requests.txt" > "$serve_dir/responses.txt"
+  python3 - "$serve_dir/responses.txt" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+ends = [l for l in lines if l["type"] == "batch-end"]
+verdicts = [l for l in lines if l["type"] == "verdict"]
+assert len(ends) == 2, f"expected 2 batches: {ends}"
+n = ends[0]["functions"]
+assert n > 0 and ends[0]["store_hits"] == 0, ends[0]
+assert ends[1]["store_hits"] == n, f"batch 2 must be all store hits: {ends[1]}"
+assert ends[1]["validations_run"] == 0, f"batch 2 must not re-validate: {ends[1]}"
+assert ends[0]["validated"] == ends[1]["validated"], (ends[0], ends[1])
+b1, b2 = verdicts[:n], verdicts[n:]
+assert b1 == b2, "replayed verdicts must match batch 1"
+assert any(l["type"] == "shutdown-ok" for l in lines), "shutdown must be acknowledged"
+print(f"serve smoke OK: {n} functions, batch 2 {ends[1]['store_hits']} hits / 0 validations")
+EOF
 fi
 
 echo "OK: all checks passed"

@@ -1,128 +1,28 @@
-//! A minimal JSON value + serializer for the `BENCH_*.json` artifacts.
+//! JSON for the `BENCH_*.json` artifacts — a thin re-export of the shared
+//! wire layer.
 //!
-//! The workspace is zero-dependency (no serde), and the bench harness only
-//! ever *writes* JSON — a small value enum with a `Display` impl is all the
-//! perf-trajectory artifacts need. Numbers are emitted with enough
-//! precision to round-trip nanosecond timings; strings are escaped per RFC
-//! 8259 (quote, backslash, control characters).
+//! The value type and encoder used to live here; they moved (byte-for-byte:
+//! same escaping, same number formatting) to [`llvm_md_core::wire`] when the
+//! verdict wire format landed, so the artifacts are emitted and parsed by
+//! one implementation. Bench bins keep importing `llvm_md_bench::json::Json`
+//! unchanged, and every committed artifact keeps its exact byte layout —
+//! `tests/wire.rs` pins the encode→parse→encode fixpoint over them.
 
-use std::fmt;
-
-/// A JSON value.
-#[derive(Clone, Debug)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    pub fn num(n: f64) -> Json {
-        Json::Num(n)
-    }
-
-    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
-        Json::Arr(items.into_iter().collect())
-    }
-
-    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
-    }
-
-    /// Serialize and write to `path`, with a trailing newline.
-    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, format!("{self}\n"))
-    }
-}
-
-fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
-        }
-    }
-    f.write_str("\"")
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => f.write_str("null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(n) if n.is_finite() => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
-                    write!(f, "{}", *n as i64)
-                } else {
-                    write!(f, "{n}")
-                }
-            }
-            // JSON has no NaN/Infinity; null is the conventional stand-in.
-            Json::Num(_) => f.write_str("null"),
-            Json::Str(s) => escape(s, f),
-            Json::Arr(items) => {
-                f.write_str("[")?;
-                for (i, v) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{v}")?;
-                }
-                f.write_str("]")
-            }
-            Json::Obj(pairs) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    escape(k, f)?;
-                    f.write_str(":")?;
-                    write!(f, "{v}")?;
-                }
-                f.write_str("}")
-            }
-        }
-    }
-}
+pub use llvm_md_core::wire::{parse, Json, WireError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The artifact byte layout survived the move to `core::wire`.
     #[test]
-    fn serializes_nested_values() {
+    fn artifact_layout_is_unchanged() {
         let j = Json::obj([
             ("name", Json::str("fig4")),
             ("ok", Json::Bool(true)),
             ("xs", Json::arr([Json::num(1.0), Json::num(2.5), Json::Null])),
         ]);
         assert_eq!(j.to_string(), r#"{"name":"fig4","ok":true,"xs":[1,2.5,null]}"#);
-    }
-
-    #[test]
-    fn escapes_strings() {
-        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
-        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
-    }
-
-    #[test]
-    fn integral_floats_print_without_fraction() {
-        assert_eq!(Json::num(1234567.0).to_string(), "1234567");
-        assert_eq!(Json::num(0.25).to_string(), "0.25");
-        assert_eq!(Json::num(f64::NAN).to_string(), "null");
+        assert_eq!(parse(&j.to_string()).expect("artifacts parse back"), j);
     }
 }

@@ -88,6 +88,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Validation queries skipped outright via fingerprint equality.
     pub skips: u64,
+    /// Entries evicted to stay under the capacity bound
+    /// ([`GraphCache::with_capacity`]); always `0` for unbounded caches.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -110,21 +113,50 @@ impl CacheStats {
 /// pool share it by reference. Builds happen outside the lock — two workers
 /// racing on one key may both build, and the first insert wins, which is
 /// harmless because canonicalized builds are byte-identical per key.
-#[derive(Debug, Default)]
+///
+/// [`GraphCache::new`] is unbounded (right for one bounded chain run);
+/// long-lived holders — the serve daemon keeps one across requests — use
+/// [`GraphCache::with_capacity`], which evicts least-recently-used entries
+/// past the cap and counts them in [`CacheStats::evictions`].
+#[derive(Debug)]
 pub struct GraphCache {
     inner: Mutex<CacheInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CacheInner {
-    map: HashMap<u64, CachedGated>,
+    map: HashMap<u64, (CachedGated, u64)>,
     stats: CacheStats,
+    /// Monotonic access counter backing the LRU order.
+    stamp: u64,
+    /// Entry cap (`usize::MAX` = unbounded).
+    cap: usize,
+}
+
+impl Default for GraphCache {
+    fn default() -> GraphCache {
+        GraphCache::new()
+    }
 }
 
 impl GraphCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> GraphCache {
-        GraphCache::default()
+        GraphCache::with_capacity(usize::MAX)
+    }
+
+    /// An empty cache bounded to at most `cap` graphs: inserting past the
+    /// cap evicts least-recently-used entries (a batch at a time, so
+    /// steady-state inserts don't re-sort on every call).
+    pub fn with_capacity(cap: usize) -> GraphCache {
+        GraphCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                stats: CacheStats::default(),
+                stamp: 0,
+                cap: cap.max(1),
+            }),
+        }
     }
 
     /// The gated-SSA graph for a function whose [`fingerprint`] is `fp`,
@@ -152,7 +184,11 @@ impl GraphCache {
     ) -> CachedGated {
         {
             let mut inner = self.inner.lock().expect("graph cache poisoned");
-            if let Some(g) = inner.map.get(&fp).cloned() {
+            inner.stamp += 1;
+            let stamp = inner.stamp;
+            if let Some(entry) = inner.map.get_mut(&fp) {
+                entry.1 = stamp;
+                let g = Arc::clone(&entry.0);
                 inner.stats.hits += 1;
                 return g;
             }
@@ -160,7 +196,11 @@ impl GraphCache {
         let built: CachedGated = Arc::new(build());
         let mut inner = self.inner.lock().expect("graph cache poisoned");
         inner.stats.misses += 1;
-        Arc::clone(inner.map.entry(fp).or_insert(built))
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let g = Arc::clone(&inner.map.entry(fp).or_insert((built, stamp)).0);
+        inner.evict_over_cap();
+        g
     }
 
     /// Record `n` validation queries skipped via fingerprint equality.
@@ -181,6 +221,26 @@ impl GraphCache {
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl CacheInner {
+    /// Evict least-recently-used entries when over capacity. Evicts in a
+    /// batch down to ⅞ of the cap (not just one entry), so a cache sitting
+    /// at its cap doesn't pay a full sort on every subsequent insert.
+    fn evict_over_cap(&mut self) {
+        if self.map.len() <= self.cap {
+            return;
+        }
+        let target = (self.cap - self.cap / 8).max(1);
+        let mut by_age: Vec<(u64, u64)> =
+            self.map.iter().map(|(&fp, &(_, stamp))| (stamp, fp)).collect();
+        by_age.sort_unstable();
+        let surplus = self.map.len() - target;
+        for &(_, fp) in by_age.iter().take(surplus) {
+            self.map.remove(&fp);
+            self.stats.evictions += 1;
+        }
     }
 }
 
@@ -304,7 +364,7 @@ mod tests {
         let g1 = cache.gated(fp, &f);
         let g2 = cache.gated(fp, &f);
         assert!(Arc::ptr_eq(&g1, &g2), "hit must return the cached build");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, skips: 0 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
         assert_eq!(cache.len(), 1);
     }
 
@@ -341,8 +401,41 @@ mod tests {
         let v = Validator::new().validate_cached(&f, &renamed, (fp, fp), &cache);
         assert!(v.validated);
         assert_eq!(v.stats.rounds, 0, "skip must not normalize");
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0, skips: 1 });
+        assert_eq!(cache.stats(), CacheStats { skips: 1, ..CacheStats::default() });
         assert!(cache.is_empty(), "skip must not build a graph");
+    }
+
+    /// A bounded cache evicts its least-recently-used graphs, keeps hot
+    /// ones, and counts the evictions.
+    #[test]
+    fn bounded_cache_evicts_lru() {
+        let funcs: Vec<Function> = (0..12)
+            .map(|i| {
+                func(&format!(
+                    "define i64 @f{i}(i64 %a) {{\nentry:\n  %x = add i64 %a, {i}\n  ret i64 %x\n}}\n"
+                ))
+            })
+            .collect();
+        let fps: Vec<u64> = funcs.iter().map(fingerprint).collect();
+        let cache = GraphCache::with_capacity(8);
+        for (fp, f) in fps.iter().zip(&funcs) {
+            cache.gated(*fp, f);
+            // Keep key 0 hot so recency (not insertion order) decides.
+            cache.gated(fps[0], &funcs[0]);
+        }
+        assert!(cache.len() <= 8, "cap must bound the cache, len={}", cache.len());
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "inserting past the cap must evict");
+        let before = cache.stats().hits;
+        cache.gated(fps[0], &funcs[0]);
+        assert_eq!(cache.stats().hits, before + 1, "the hot key must have survived eviction");
+        // An unbounded cache never evicts.
+        let unbounded = GraphCache::new();
+        for (fp, f) in fps.iter().zip(&funcs) {
+            unbounded.gated(*fp, f);
+        }
+        assert_eq!(unbounded.stats().evictions, 0);
+        assert_eq!(unbounded.len(), funcs.len());
     }
 
     /// Gate errors are cached and reported like the plain path.

@@ -56,6 +56,7 @@ pub mod graph;
 pub mod rules;
 pub mod triage;
 pub mod validate;
+pub mod wire;
 
 pub use cache::{fingerprint, fingerprint_canonical, module_fingerprints, CacheStats, GraphCache};
 pub use cycles::MatchStrategy;
@@ -65,3 +66,4 @@ pub use triage::{Triage, TriageClass, TriageOptions, TriagedVerdict, VerdictClas
 pub use validate::{
     validate, Deadline, DivergentRoots, FailReason, Limits, ValidationStats, Validator, Verdict,
 };
+pub use wire::{FromWire, Json, ToWire, WireError, SCHEMA_VERSION};

@@ -179,10 +179,14 @@ impl TriagedVerdict {
     }
 
     /// The pair's [`VerdictClass`] — the projection differential-fuzzing
-    /// oracles compare.
+    /// oracles compare. An alarm that was never triaged (triage disabled,
+    /// as in an untriaged `llvm-md serve`) classifies conservatively as
+    /// [`VerdictClass::SuspectedIncomplete`] — only interpreter evidence
+    /// may escalate to [`VerdictClass::RealMiscompile`].
     pub fn class(&self) -> VerdictClass {
         match &self.triage {
-            None => VerdictClass::Validated,
+            None if self.verdict.validated => VerdictClass::Validated,
+            None => VerdictClass::SuspectedIncomplete,
             Some(t) if t.class == TriageClass::RealMiscompile => VerdictClass::RealMiscompile,
             Some(_) => VerdictClass::SuspectedIncomplete,
         }

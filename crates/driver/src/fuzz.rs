@@ -34,6 +34,9 @@
 //! [`lir::parse::parse_module`], so the whole file parses as a module;
 //! [`parse_repro`] recovers the metadata and [`replay_repro`] re-runs the
 //! recorded pipeline and checks the recorded outcome class reproduces.
+//! Free-text header values (profile, function) are quoted/escaped with the
+//! wire format's shared helper (`llvm_md_core::wire::quote`/`unquote`);
+//! bare un-quoted values are still accepted on parse for older repros.
 
 use crate::chain::{ChainReport, ChainValidator};
 use crate::{Report, UnknownPass, ValidationEngine};
@@ -41,7 +44,7 @@ use lir::func::Module;
 use lir::parse::parse_module;
 use lir_opt::{pass_by_name, PassManager};
 use llvm_md_core::triage::VerdictClass;
-use llvm_md_core::{TriageClass, TriageOptions, Validator};
+use llvm_md_core::{wire, TriageClass, TriageOptions, Validator};
 use llvm_md_workload::fuzz::{campaign_modules, fuzz_profiles};
 use llvm_md_workload::reduce::{reduce_module, ReduceOptions, ReduceStats};
 use llvm_md_workload::{BrokenPass, BugKind, DEFAULT_CAMPAIGN_SEED, PAPER_PASSES};
@@ -485,6 +488,11 @@ pub struct Repro {
 
 /// Render a finding as a self-contained, replayable repro file (see the
 /// [module docs](self) for the format).
+///
+/// Free-text header values (profile and function names) are quoted with the
+/// wire format's one escaping helper ([`llvm_md_core::wire::quote`]) — the
+/// repro header and the serve protocol share a single quoting
+/// implementation instead of two private copies.
 pub fn repro_to_string(finding: &Finding, seed: u64, passes: &[String]) -> String {
     let witness = finding.witness.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",");
     format!(
@@ -497,9 +505,9 @@ pub fn repro_to_string(finding: &Finding, seed: u64, passes: &[String]) -> Strin
          ; fuzz-passes: {}\n\
          ; fuzz-seed: {:#018x}\n\
          {}",
-        finding.profile,
+        wire::quote(&finding.profile),
         finding.index,
-        finding.function,
+        wire::quote(&finding.function),
         finding.kind,
         witness,
         passes.join(","),
@@ -516,10 +524,18 @@ pub fn repro_to_string(finding: &Finding, seed: u64, passes: &[String]) -> Strin
 /// the parse error of the embedded module.
 pub fn parse_repro(text: &str) -> Result<Repro, String> {
     let field = |key: &str| -> Result<String, String> {
-        text.lines()
+        let raw = text
+            .lines()
             .find_map(|l| l.trim().strip_prefix(&format!("; fuzz-{key}: ")))
-            .map(|v| v.trim().to_owned())
-            .ok_or_else(|| format!("repro is missing the `; fuzz-{key}:` header"))
+            .map(str::trim)
+            .ok_or_else(|| format!("repro is missing the `; fuzz-{key}:` header"))?;
+        // Free-text values are wire-quoted since the serve protocol landed;
+        // bare values (pre-wire repros, hand-written files) stay accepted.
+        if raw.starts_with('"') {
+            wire::unquote(raw).map_err(|e| format!("bad `; fuzz-{key}:` value {raw}: {e}"))
+        } else {
+            Ok(raw.to_owned())
+        }
     };
     if !text.lines().any(|l| l.trim() == "; fuzz-repro v1") {
         return Err("not a fuzz repro (no `; fuzz-repro v1` header)".to_owned());

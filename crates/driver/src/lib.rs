@@ -76,12 +76,17 @@
 
 pub mod chain;
 pub mod fuzz;
+pub mod serve;
+pub mod store;
+mod wirefmt;
 
 pub use chain::{Blame, ChainReport, ChainStep, ChainValidator, Composition};
 pub use fuzz::{
     campaign_pass_manager, parse_repro, replay_repro, repro_to_string, CampaignConfig,
     CampaignReport, Finding, FindingKind, FuzzCampaign, ProfileStats, ReplayOutcome, Repro,
 };
+pub use serve::{ServeCounters, ServeEnd, Server};
+pub use store::{StoreStats, VerdictStore, SHARDS};
 
 use lir::func::{Function, Module};
 use lir_opt::PassManager;

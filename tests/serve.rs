@@ -1,0 +1,191 @@
+//! Integration tests for the `llvm-md serve` loop: the framed request
+//! protocol end to end, over in-memory buffers (no process spawning).
+//!
+//! The load-bearing property is the store contract: sending the *same*
+//! batch twice must answer the second entirely from the verdict store —
+//! zero validations run — with **byte-identical** verdict lines. The same
+//! holds across a daemon restart when the store is on disk.
+
+use llvm_md::core::wire::{self, Json};
+use llvm_md::core::Validator;
+use llvm_md::driver::{ServeEnd, Server, ValidationEngine, VerdictStore};
+use llvm_md::opt::paper_pipeline;
+use llvm_md::workload::generate_suite;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llvm-md-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A module pair (printed `.ll` text) from the deterministic suite, with
+/// the paper pipeline applied to the output side.
+fn suite_pair(index: usize) -> (String, String) {
+    let suite = generate_suite(2);
+    let (_, module) = &suite[index % suite.len()];
+    let mut output = module.clone();
+    paper_pipeline().run_module(&mut output);
+    (format!("{module}"), format!("{output}"))
+}
+
+fn frame(doc: &Json) -> String {
+    let text = doc.to_string();
+    format!("{}\n{}", text.len(), text)
+}
+
+fn validate_request(id: &str, original: &str, optimized: &str) -> String {
+    frame(&wire::envelope(
+        "validate",
+        [
+            ("id", Json::str(id)),
+            ("original", Json::str(original)),
+            ("optimized", Json::str(optimized)),
+        ],
+    ))
+}
+
+fn control_request(kind: &str, id: &str) -> String {
+    frame(&wire::envelope(kind, [("id", Json::str(id))]))
+}
+
+fn new_server(store: VerdictStore) -> Server {
+    Server::new(ValidationEngine::with_workers(2), Validator::new(), None, store)
+}
+
+/// Run a request script through a server, returning parsed response lines.
+fn run_script(server: &Server, script: &str) -> (ServeEnd, Vec<Json>) {
+    let mut out = Vec::new();
+    let end = server.serve(script.as_bytes(), &mut out).expect("serve loop");
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    let lines = text
+        .lines()
+        .map(|l| wire::parse(l).unwrap_or_else(|e| panic!("unparseable response `{l}`: {e}")))
+        .collect();
+    (end, lines)
+}
+
+fn lines_of_type<'a>(lines: &'a [Json], ty: &str) -> Vec<&'a Json> {
+    lines.iter().filter(|l| wire::doc_type(l).ok() == Some(ty)).collect()
+}
+
+fn field_u64(doc: &Json, key: &str) -> u64 {
+    doc.u64_field(key).unwrap_or_else(|e| panic!("field `{key}`: {e}"))
+}
+
+#[test]
+fn repeat_batch_is_answered_entirely_from_the_store() {
+    let (original, optimized) = suite_pair(0);
+    let script = format!(
+        "{}{}{}",
+        validate_request("b1", &original, &optimized),
+        validate_request("b2", &original, &optimized),
+        control_request("shutdown", "x"),
+    );
+    let server = new_server(VerdictStore::in_memory(1 << 16));
+    let (end, lines) = run_script(&server, &script);
+    assert_eq!(end, ServeEnd::Shutdown);
+
+    let ends = lines_of_type(&lines, "batch-end");
+    assert_eq!(ends.len(), 2);
+    let functions = field_u64(ends[0], "functions");
+    assert!(functions > 0);
+    assert_eq!(field_u64(ends[0], "store_hits"), 0, "first batch cannot hit the store");
+    assert_eq!(field_u64(ends[1], "store_hits"), functions, "second batch must be 100% store hits");
+    assert_eq!(field_u64(ends[1], "validations_run"), 0, "second batch must not re-validate");
+    assert_eq!(field_u64(ends[0], "validated"), field_u64(ends[1], "validated"));
+
+    // Byte-identical replay: the verdict lines of both batches (re-encoded
+    // from the parsed docs, which is byte-stable by the wire fixpoint) and
+    // of the raw stream must match one-for-one.
+    let verdicts: Vec<String> =
+        lines_of_type(&lines, "verdict").iter().map(|v| v.to_string()).collect();
+    assert_eq!(verdicts.len() as u64, functions * 2);
+    let (first, second) = verdicts.split_at(functions as usize);
+    assert_eq!(first, second, "replayed verdict lines must be byte-identical");
+}
+
+#[test]
+fn store_hits_survive_a_daemon_restart() {
+    let dir = tmpdir("restart");
+    let (original, optimized) = suite_pair(1);
+    let batch = validate_request("warm", &original, &optimized);
+
+    let first_lines = {
+        let server = new_server(VerdictStore::open(&dir, 1 << 16).unwrap());
+        let script = format!("{}{}", batch, control_request("shutdown", "x"));
+        let (_, lines) = run_script(&server, &script);
+        lines
+    };
+    let first_verdicts: Vec<String> =
+        lines_of_type(&first_lines, "verdict").iter().map(|v| v.to_string()).collect();
+    assert!(!first_verdicts.is_empty());
+
+    // A fresh server over the same directory: everything is a hit.
+    let server = new_server(VerdictStore::open(&dir, 1 << 16).unwrap());
+    assert_eq!(server.store().len(), first_verdicts.len());
+    let script = format!("{}{}", batch, control_request("shutdown", "x"));
+    let (_, lines) = run_script(&server, &script);
+    let end = lines_of_type(&lines, "batch-end")[0];
+    assert_eq!(field_u64(end, "store_hits") as usize, first_verdicts.len());
+    assert_eq!(field_u64(end, "validations_run"), 0);
+    let verdicts: Vec<String> =
+        lines_of_type(&lines, "verdict").iter().map(|v| v.to_string()).collect();
+    assert_eq!(verdicts, first_verdicts, "disk-replayed verdicts must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_and_flush_report_store_state() {
+    let (original, optimized) = suite_pair(0);
+    let script = format!(
+        "{}{}{}{}",
+        validate_request("b1", &original, &optimized),
+        control_request("stats", "s1"),
+        control_request("flush", "f1"),
+        control_request("shutdown", "x"),
+    );
+    let server = new_server(VerdictStore::in_memory(1 << 16));
+    let (_, lines) = run_script(&server, &script);
+    let stats = lines_of_type(&lines, "stats")[0];
+    assert_eq!(field_u64(stats, "batches"), 1);
+    assert!(field_u64(stats, "functions") > 0);
+    let store = stats.field("store").unwrap();
+    assert_eq!(field_u64(store, "entries"), field_u64(stats, "functions"));
+    let flush = lines_of_type(&lines, "flush-ok")[0];
+    assert!(field_u64(flush, "entries") > 0);
+    assert_eq!(lines_of_type(&lines, "shutdown-ok").len(), 1);
+}
+
+#[test]
+fn malformed_frames_produce_error_lines_not_crashes() {
+    let server = new_server(VerdictStore::in_memory(1 << 16));
+
+    // Well-framed but semantically broken requests: the loop answers each
+    // with an error line and keeps going.
+    let bad_json = "17\n{not json at all}";
+    let bad_version =
+        frame(&Json::obj([(wire::VERSION_KEY, Json::num(999.0)), ("type", Json::str("validate"))]));
+    let bad_type = frame(&wire::envelope("frobnicate", [("id", Json::str("q"))]));
+    let bad_module = frame(&wire::envelope(
+        "validate",
+        [
+            ("id", Json::str("m")),
+            ("original", Json::str("define i64 @f( syntax error")),
+            ("optimized", Json::str("")),
+        ],
+    ));
+    let script = format!(
+        "{bad_json}{bad_version}{bad_type}{bad_module}{}",
+        control_request("shutdown", "x")
+    );
+    let (end, lines) = run_script(&server, &script);
+    assert_eq!(end, ServeEnd::Shutdown, "the loop must survive bad requests");
+    assert_eq!(lines_of_type(&lines, "error").len(), 4);
+
+    // A broken *frame* (length prefix that is not a number) is not
+    // recoverable — the loop reports one error line and ends.
+    let (end, lines) = run_script(&server, "not-a-length\ngarbage");
+    assert_eq!(end, ServeEnd::Eof);
+    assert_eq!(lines_of_type(&lines, "error").len(), 1);
+}
