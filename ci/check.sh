@@ -197,6 +197,38 @@ assert b1 == b2, "replayed verdicts must match batch 1"
 assert any(l["type"] == "shutdown-ok" for l in lines), "shutdown must be acknowledged"
 print(f"serve smoke OK: {n} functions, batch 2 {ends[1]['store_hits']} hits / 0 validations")
 EOF
+
+  echo "==> perf gate (micro medians vs committed BENCH_micro.json, fail on >2x regression)"
+  # Guard the hash-consing/interner win: re-run the micro benchmarks into a
+  # throwaway dir and compare per-axis medians against the committed
+  # baseline. Shared CI boxes are noisy and uniformly slower/faster than the
+  # recording machine, so the per-axis ratio is first calibrated by the
+  # batch-median ratio (a machine that is 1.5x slower on *everything* is
+  # load, not a regression); only a >2x *calibrated* regression — one axis
+  # losing ground against its siblings, i.e. an algorithmic loss — fails
+  # the gate, with a 4x raw-ratio backstop so a uniform across-the-board
+  # loss cannot hide behind its own calibration. Axes present on only one
+  # side fail loudly: renaming a benchmark without re-baselining would
+  # otherwise un-gate it silently.
+  perf_dir="$(mktemp -d)"
+  BENCH_OUT_DIR="$perf_dir" cargo bench --offline -q -p llvm_md_bench > /dev/null
+  python3 - BENCH_micro.json "$perf_dir/BENCH_micro.json" <<'EOF'
+import json, sys
+base = {b["name"]: b["median_ns"] for b in json.load(open(sys.argv[1]))["benchmarks"]}
+cur = {b["name"]: b["median_ns"] for b in json.load(open(sys.argv[2]))["benchmarks"]}
+assert base.keys() == cur.keys(), \
+    f"benchmark axes drifted from the baseline (re-run ci/bench_baseline.sh): " \
+    f"only-baseline={sorted(base.keys() - cur.keys())} only-current={sorted(cur.keys() - base.keys())}"
+ratios = {n: cur[n] / base[n] for n in base}
+machine = sorted(ratios.values())[len(ratios) // 2]  # batch-median = machine speed
+bad = [n for n in sorted(base) if ratios[n] / machine > 2 or ratios[n] > 4]
+assert not bad, f"perf regression vs committed baseline (machine factor {machine:.2f}x): " \
+    + ", ".join(f"{n} {base[n]}ns -> {cur[n]}ns ({ratios[n]:.2f}x raw, "
+                f"{ratios[n] / machine:.2f}x calibrated)" for n in bad)
+worst = max(ratios[n] / machine for n in base)
+print(f"perf gate OK: {len(base)} axes within 2x calibrated (machine factor "
+      f"{machine:.2f}x, worst calibrated ratio {worst:.2f}x)")
+EOF
 fi
 
 echo "OK: all checks passed"

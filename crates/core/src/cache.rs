@@ -44,7 +44,11 @@ use std::sync::{Arc, Mutex};
 
 // The one FNV-1a implementation (shared with campaign seed derivation and
 // the `tests/determinism.rs` fingerprint idiom, so they can never diverge).
-use llvm_md_workload::rng::fnv1a;
+// FNV-1a is byte-serial, so streaming the canonical rendering into the
+// hasher (`fmt::Write`) yields the exact value `fnv1a(text.as_bytes())`
+// would — fingerprints persisted by older binaries (verdict stores, chain
+// caches) stay valid — without materializing the printed function.
+use lir::intern::Fnv1a;
 
 /// The structural fingerprint of a function: FNV-1a over its canonicalized
 /// printed form. Two functions that differ only in register numbering,
@@ -59,7 +63,11 @@ pub fn fingerprint(f: &Function) -> u64 {
 /// form around (chain validation does, to feed
 /// [`GraphCache::gated_canonical`]) pay canonicalization once, not twice.
 pub fn fingerprint_canonical(canonical: &Function) -> u64 {
-    fnv1a(format!("{canonical}").as_bytes())
+    use std::fmt::Write;
+    use std::hash::Hasher;
+    let mut h = Fnv1a::new();
+    write!(h, "{canonical}").expect("hashing Display output cannot fail");
+    h.finish()
 }
 
 /// Fingerprints for every function of a module, in function order — the
@@ -299,11 +307,14 @@ impl Validator {
             stats.duration = deadline.elapsed();
             return Verdict::fail(FailReason::Signature, stats);
         }
+        // Like `GraphCache::gated(_canonical)` but honoring this
+        // validator's interner mode (both modes build byte-identical
+        // graphs, so mixed-mode sharing of one cache stays sound).
         let lookup = |fp: u64, f: &Function| {
             if canonical {
-                cache.gated_canonical(fp, f)
+                cache.gated_with(fp, || gated_ssa::build_with(f, self.interning))
             } else {
-                cache.gated(fp, f)
+                cache.gated_with(fp, || gated_ssa::build_with(&f.canonicalized(), self.interning))
             }
         };
         let go = lookup(fps.0, original);
@@ -339,6 +350,21 @@ mod tests {
 
     fn func(src: &str) -> Function {
         parse_module(src).expect("parse").functions.remove(0)
+    }
+
+    /// The streamed fingerprint (canonical rendering fed incrementally into
+    /// the FNV hasher) equals FNV-1a over the materialized string — the
+    /// compatibility that keeps persisted verdict-store keys and chain
+    /// caches valid across the streaming change.
+    #[test]
+    fn streamed_fingerprint_matches_string_hash() {
+        let f = func("define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 3\n  ret i64 %x\n}\n");
+        let canonical = f.canonicalized();
+        let text = format!("{canonical}");
+        assert_eq!(
+            fingerprint_canonical(&canonical),
+            llvm_md_workload::rng::fnv1a(text.as_bytes())
+        );
     }
 
     /// Renaming/renumbering never changes the fingerprint; structure does.

@@ -15,24 +15,134 @@
 //! how the cycle matcher's speculative unions become permanent structural
 //! equalities.
 
-use gated_ssa::node::{CalleeId, Node, NodeId, ValueGraph};
+use gated_ssa::node::{node_hash, CalleeId, Interning, Node, NodeId, ValueGraph};
 use gated_ssa::GatedFunction;
+use lir::intern::{HashSlots, StrTab};
 use std::collections::HashMap;
+
+/// The arena-backed interner for [`SharedGraph`] ([`Interning::Fast`]).
+///
+/// Unlike the per-function `ValueGraph`, the shared graph cannot resolve
+/// hash-table candidates against its node arena: [`SharedGraph::rebuild`]
+/// interns `resolve(id)` keys (canonical children), which differ from the
+/// possibly-stale arena entries, and pre-rebuild lookups must compare
+/// against the key *as interned* — not a re-resolved one — to keep hit/miss
+/// behavior (and therefore id assignment) byte-identical to the naive
+/// `HashMap`. So this interner keeps its own key copies, contiguously, and
+/// wins over the `HashMap` on hashing cost (FNV over ids vs SipHash) and
+/// locality rather than on storage.
+#[derive(Debug, Default)]
+struct FastIntern {
+    /// hash(key) → index into `keys`.
+    slots: HashSlots,
+    /// The interned `(key, id)` pairs in insertion order.
+    keys: Vec<(Node, NodeId)>,
+}
+
+impl FastIntern {
+    fn get(&self, node: &Node) -> Option<NodeId> {
+        let keys = &self.keys;
+        self.slots.get(node_hash(node), |i| keys[i as usize].0 == *node).map(|i| keys[i as usize].1)
+    }
+
+    fn insert(&mut self, node: Node, id: NodeId) {
+        let h = node_hash(&node);
+        let slot = self.keys.len() as u32;
+        self.keys.push((node, id));
+        self.slots.insert(h, slot);
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.slots.clear();
+    }
+}
+
+/// The interner behind [`SharedGraph::add`]/[`SharedGraph::rebuild`]: one
+/// of the two [`Interning`] modes. Both implement the same node → id map,
+/// so the modes build byte-identical graphs.
+#[derive(Debug)]
+enum InternMap {
+    Fast(FastIntern),
+    Naive(HashMap<Node, NodeId>),
+}
+
+impl InternMap {
+    fn new(mode: Interning) -> InternMap {
+        match mode {
+            Interning::Fast => InternMap::Fast(FastIntern::default()),
+            Interning::Naive => InternMap::Naive(HashMap::new()),
+        }
+    }
+
+    fn get(&self, node: &Node) -> Option<NodeId> {
+        match self {
+            InternMap::Fast(t) => t.get(node),
+            InternMap::Naive(m) => m.get(node).copied(),
+        }
+    }
+
+    fn insert(&mut self, node: Node, id: NodeId) {
+        match self {
+            InternMap::Fast(t) => t.insert(node, id),
+            InternMap::Naive(m) => {
+                m.insert(node, id);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            InternMap::Fast(t) => t.clear(),
+            InternMap::Naive(m) => m.clear(),
+        }
+    }
+}
+
+impl Default for InternMap {
+    fn default() -> InternMap {
+        InternMap::new(Interning::Fast)
+    }
+}
 
 /// A merged, rewritable value graph for one validation query.
 #[derive(Debug, Default)]
 pub struct SharedGraph {
     nodes: Vec<Node>,
     parent: Vec<u32>,
-    callees: Vec<String>,
-    callee_ids: HashMap<String, CalleeId>,
-    intern: HashMap<Node, NodeId>,
+    callees: StrTab,
+    intern: InternMap,
 }
 
 impl SharedGraph {
-    /// An empty shared graph.
+    /// An empty shared graph with the default ([`Interning::Fast`])
+    /// interner.
     pub fn new() -> SharedGraph {
         SharedGraph::default()
+    }
+
+    /// An empty shared graph backed by the given interner mode. Both modes
+    /// build byte-identical graphs (see [`Interning`]); the naive mode is
+    /// the differential-testing oracle.
+    pub fn with_interning(mode: Interning) -> SharedGraph {
+        SharedGraph { intern: InternMap::new(mode), ..SharedGraph::default() }
+    }
+
+    /// Which interner mode backs this graph.
+    pub fn interning(&self) -> Interning {
+        match self.intern {
+            InternMap::Fast(_) => Interning::Fast,
+            InternMap::Naive(_) => Interning::Naive,
+        }
+    }
+
+    /// Drop all nodes, equalities and callees, keeping the allocations
+    /// (arena, union-find, interner, string table) for the next query.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.parent.clear();
+        self.callees.clear();
+        self.intern.clear();
     }
 
     /// Number of nodes ever created (including superseded ones).
@@ -53,18 +163,12 @@ impl SharedGraph {
 
     /// The callee name for `id`.
     pub fn callee_name(&self, id: CalleeId) -> &str {
-        &self.callees[id.index()]
+        self.callees.get(id.0)
     }
 
-    /// Intern a callee name.
+    /// Intern a callee name into the graph's string table.
     pub fn callee(&mut self, name: &str) -> CalleeId {
-        if let Some(&id) = self.callee_ids.get(name) {
-            return id;
-        }
-        let id = CalleeId(self.callees.len() as u32);
-        self.callees.push(name.to_owned());
-        self.callee_ids.insert(name.to_owned(), id);
-        id
+        CalleeId(self.callees.intern(name))
     }
 
     /// Canonical representative of `id`.
@@ -149,7 +253,7 @@ impl SharedGraph {
         assert!(!node.is_mu(), "mu nodes are nominal; use new_mu");
         node.map_children(|c| self.find(c));
         Self::canon_node(&mut node);
-        if let Some(&id) = self.intern.get(&node) {
+        if let Some(id) = self.intern.get(&node) {
             return self.find(id);
         }
         let id = NodeId(self.nodes.len() as u32);
@@ -221,10 +325,9 @@ impl SharedGraph {
                         Node::CallPure { callee, .. }
                         | Node::CallVal { callee, .. }
                         | Node::CallMem { callee, .. } => {
-                            let mapped = *callee_map.entry(*callee).or_insert_with(|| {
-                                let name = g.callee_name(*callee).to_owned();
-                                self.callee(&name)
-                            });
+                            let mapped = *callee_map
+                                .entry(*callee)
+                                .or_insert_with(|| self.callee(g.callee_name(*callee)));
                             *callee = mapped;
                         }
                         _ => {}
@@ -273,7 +376,7 @@ impl SharedGraph {
                 }
                 let key = self.resolve(id);
                 match self.intern.get(&key) {
-                    Some(&prev) => {
+                    Some(prev) => {
                         let prev = self.find(prev);
                         if prev != id {
                             self.union(prev, id);

@@ -60,6 +60,7 @@ pub mod wire;
 
 pub use cache::{fingerprint, fingerprint_canonical, module_fingerprints, CacheStats, GraphCache};
 pub use cycles::MatchStrategy;
+pub use gated_ssa::Interning;
 pub use graph::SharedGraph;
 pub use rules::{RewriteCounts, RuleBudgets, RuleSet};
 pub use triage::{Triage, TriageClass, TriageOptions, TriagedVerdict, VerdictClass, Witness};

@@ -4,7 +4,7 @@
 use crate::cycles::{match_cycles, MatchStrategy};
 use crate::graph::SharedGraph;
 use crate::rules::{apply_rules, RewriteCounts, RuleBudgets, RuleSet};
-use gated_ssa::{GateError, GatedFunction};
+use gated_ssa::{GateError, GatedFunction, Interning};
 use lir::func::Function;
 use std::time::{Duration, Instant};
 
@@ -69,6 +69,11 @@ pub struct Validator {
     pub strategy: MatchStrategy,
     /// Resource limits.
     pub limits: Limits,
+    /// Interner mode for the value graphs ([`Interning::Fast`] by default;
+    /// [`Interning::Naive`] retains the pre-arena interner as the
+    /// differential-testing oracle — both produce identical verdicts and
+    /// statistics).
+    pub interning: Interning,
 }
 
 /// Why validation failed (any of these counts as an *alarm*; assuming the
@@ -209,14 +214,14 @@ impl Validator {
             stats.duration = deadline.elapsed();
             return Verdict::fail(FailReason::Signature, stats);
         }
-        let go = match gated_ssa::build(original) {
+        let go = match gated_ssa::build_with(original, self.interning) {
             Ok(g) => g,
             Err(e) => {
                 stats.duration = deadline.elapsed();
                 return Verdict::fail(FailReason::Gate(e), stats);
             }
         };
-        let gt = match gated_ssa::build(optimized) {
+        let gt = match gated_ssa::build_with(optimized, self.interning) {
             Ok(g) => g,
             Err(e) => {
                 stats.duration = deadline.elapsed();
@@ -253,7 +258,7 @@ impl Validator {
     ) -> Verdict {
         let mut budgets = RuleBudgets { unswitches: self.limits.unswitch_budget };
         let mut stats = ValidationStats::default();
-        let mut g = SharedGraph::new();
+        let mut g = SharedGraph::with_interning(self.interning);
         let mo = g.import(original);
         let mt = g.import(optimized);
         let root = |gf: &GatedFunction, map: &[gated_ssa::NodeId]| {

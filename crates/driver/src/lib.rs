@@ -48,12 +48,16 @@
 //!
 //! Per-function validation queries are independent, so the driver runs them
 //! through a [`ValidationEngine`]: a `std::thread::scope` worker pool
-//! (worker count configurable, default [`default_workers`]) that fans
-//! queries out over an atomic work queue and aggregates the
-//! [`FunctionRecord`]s back **in deterministic input order**. At
-//! `workers = 1` no threads are spawned and the report is identical to the
-//! historical serial driver; at any worker count the report differs only in
-//! wall-clock durations. The batched [`ValidationEngine::validate_corpus`]
+//! (worker count configurable, default [`default_workers`]) that seeds each
+//! worker with a contiguous chunk of the queries in its own deque and lets
+//! idle workers **steal** from busy ones (LIFO local pop, FIFO steal — see
+//! [`mod@pool`]), aggregating the [`FunctionRecord`]s back **in
+//! deterministic input order**. At `workers = 1` no threads are spawned and
+//! the report is identical to the historical serial driver; at any worker
+//! count the report differs only in wall-clock durations and the
+//! schedule-dependent [`PoolStats`] counters, which — like
+//! `llvm_md_core::CacheStats` — are excluded from every `same_outcome`
+//! contract. The batched [`ValidationEngine::validate_corpus`]
 //! entry point streams whole corpora of modules through one pool
 //! (optimization parallel per module, validation parallel per function)
 //! for service-style throughput runs — see the `fig4_scaling` benchmark.
@@ -76,6 +80,7 @@
 
 pub mod chain;
 pub mod fuzz;
+pub mod pool;
 pub mod serve;
 pub mod store;
 mod wirefmt;
@@ -85,6 +90,7 @@ pub use fuzz::{
     campaign_pass_manager, parse_repro, replay_repro, repro_to_string, CampaignConfig,
     CampaignReport, Finding, FindingKind, FuzzCampaign, ProfileStats, ReplayOutcome, Repro,
 };
+pub use pool::{pool_stats, PoolStats};
 pub use serve::{ServeCounters, ServeEnd, Server};
 pub use store::{StoreStats, VerdictStore, SHARDS};
 
@@ -94,7 +100,6 @@ use llvm_md_core::triage::{triage_alarm, Triage, TriageClass, TriageOptions};
 use llvm_md_core::{FailReason, RewriteCounts, Validator, Verdict};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// The outcome of optimizing-and-validating one function.
@@ -410,46 +415,22 @@ impl ValidationEngine {
     }
 
     /// Map `f` over `items` on the worker pool; results come back in item
-    /// order. Workers pull from an atomic queue so long queries don't stall
-    /// the rest of the batch behind a static partition. With one worker (or
-    /// one item) the map runs inline on the calling thread.
+    /// order. Workers start on their own contiguous chunk of the batch and
+    /// steal from busy neighbors once it drains ([`mod@pool`]), so long
+    /// queries don't stall the rest of the batch behind a static partition.
+    /// With one worker (or one item) the map runs inline on the calling
+    /// thread.
     pub(crate) fn run_jobs<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        let n = items.len();
-        let workers = self.workers.min(n);
+        let workers = self.workers.min(items.len());
         if workers <= 1 {
             return items.iter().map(f).collect();
         }
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut done = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            done.push((i, f(&items[i])));
-                        }
-                        done
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, r) in h.join().expect("validation worker panicked") {
-                    slots[i] = Some(r);
-                }
-            }
-        });
-        slots.into_iter().map(|r| r.expect("work queue covered every job")).collect()
+        pool::run_stealing(workers, items, f)
     }
 
     /// Validate (and, when `triage` options are given, triage) the paired

@@ -21,7 +21,7 @@
 //!   and the allocation chain (see [`crate::node`]); their joins, loop
 //!   headers and loop exits get φ/μ/η nodes exactly like register values.
 
-use crate::node::{Node, NodeId, ValueGraph};
+use crate::node::{Interning, Node, NodeId, ValueGraph};
 use crate::prep::{GateError, Prepared};
 use lir::func::{BlockId, Function};
 use lir::inst::{IcmpPred, Inst, Term};
@@ -70,8 +70,20 @@ pub struct GatedFunction {
 /// [`GateError::Malformed`] if the function violates a structural invariant
 /// the builder relies on (which a verifier-clean function never does).
 pub fn build(f: &Function) -> Result<GatedFunction, GateError> {
+    build_with(f, Interning::default())
+}
+
+/// [`build`] with an explicit interner mode for the value graph.
+///
+/// Both modes produce byte-identical graphs (see [`Interning`]); the naive
+/// mode exists as the differential-testing oracle for the arena interner.
+///
+/// # Errors
+///
+/// As for [`build`].
+pub fn build_with(f: &Function, interning: Interning) -> Result<GatedFunction, GateError> {
     let prepared = crate::prep::prepare(f)?;
-    build_prepared(&prepared, &f.name)
+    build_prepared_with(&prepared, &f.name, interning)
 }
 
 /// Per-loop translation facts, available once the loop has been processed.
@@ -125,7 +137,20 @@ struct Builder<'a> {
 /// Entry point over an already prepared function (exposed for tests that
 /// want to inspect the prepared form too).
 pub fn build_prepared(p: &Prepared, name: &str) -> Result<GatedFunction, GateError> {
-    let mut b = Builder::new(p);
+    build_prepared_with(p, name, Interning::default())
+}
+
+/// [`build_prepared`] with an explicit interner mode for the value graph.
+///
+/// # Errors
+///
+/// As for [`build`].
+pub fn build_prepared_with(
+    p: &Prepared,
+    name: &str,
+    interning: Interning,
+) -> Result<GatedFunction, GateError> {
+    let mut b = Builder::new(p, interning);
     b.precompute_loop_effects();
     let entry = p.f.entry();
     let init_mem = b.g.add(Node::InitMem);
@@ -164,12 +189,12 @@ pub fn build_prepared(p: &Prepared, name: &str) -> Result<GatedFunction, GateErr
 }
 
 impl<'a> Builder<'a> {
-    fn new(p: &'a Prepared) -> Builder<'a> {
+    fn new(p: &'a Prepared, interning: Interning) -> Builder<'a> {
         let nregs = p.f.reg_bound();
         let nblocks = p.f.blocks.len();
         let nloops = p.lf.loops.len();
         let mut reg_val = vec![None; nregs];
-        let mut g = ValueGraph::new();
+        let mut g = ValueGraph::with_interning(interning);
         for (i, &(r, _)) in p.f.params.iter().enumerate() {
             reg_val[r.index()] = Some(g.add(Node::Param(i as u32)));
         }
@@ -226,11 +251,19 @@ impl<'a> Builder<'a> {
 
     /// η-wrap `v` for each loop left when flowing from `from` to `to`.
     fn eta_wrap(&mut self, mut v: NodeId, from: BlockId, to: BlockId) -> NodeId {
+        // Fast path: same loop (or both outside any loop) exits nothing.
+        // This is the common case — every register operand comes through
+        // here via `use_val`.
+        if self.p.lf.loop_of(from) == self.p.lf.loop_of(to) {
+            return v;
+        }
         for lid in self.exited_loops(from, to) {
-            let x = self.loop_xlat[lid.index()].as_ref().expect("exited loop already translated");
-            let (ca, depth) = (x.ca, self.p.lf.get(lid).depth);
-            let mus = x.mus.clone();
-            v = self.g.eta(depth, ca, v, &mus);
+            // Take the translation facts out of the slot for the duration
+            // of the η construction instead of cloning the μ list.
+            let x = self.loop_xlat[lid.index()].take().expect("exited loop already translated");
+            let depth = self.p.lf.get(lid).depth;
+            v = self.g.eta(depth, x.ca, v, &x.mus);
+            self.loop_xlat[lid.index()] = Some(x);
         }
         v
     }
@@ -254,31 +287,34 @@ impl<'a> Builder<'a> {
     /// Successor edges of block `b` grouped per distinct target, with the
     /// branch condition of each group.
     fn succ_groups(&mut self, b: BlockId) -> Vec<(BlockId, NodeId)> {
-        let term = self.p.f.blocks[b.index()].term.clone();
-        match term {
+        // `self.p` is a shared reference with the builder's lifetime, so
+        // reborrowing it detaches the terminator from `&mut self` and the
+        // old per-block clone goes away.
+        let p = self.p;
+        match &p.f.blocks[b.index()].term {
             Term::Ret { .. } | Term::Unreachable => vec![],
             Term::Br { target } => {
                 let t = self.g.true_();
-                vec![(target, t)]
+                vec![(*target, t)]
             }
             Term::CondBr { cond, t, f } => {
                 if t == f {
                     let tr = self.g.true_();
-                    vec![(t, tr)]
+                    vec![(*t, tr)]
                 } else {
-                    let c = self.use_val(cond, b);
+                    let c = self.use_val(*cond, b);
                     let nc = self.g.not(c);
-                    vec![(t, c), (f, nc)]
+                    vec![(*t, c), (*f, nc)]
                 }
             }
             Term::Switch { ty, val, default, cases } => {
-                let v = self.use_val(val, b);
+                let v = self.use_val(*val, b);
                 let mut conds: HashMap<BlockId, NodeId> = HashMap::new();
                 let mut order: Vec<BlockId> = Vec::new();
                 let mut not_any = self.g.true_();
-                for &(k, target) in &cases {
-                    let kn = self.g.add(Node::Const(Constant::int(ty, k)));
-                    let eq = self.g.add(Node::Icmp(IcmpPred::Eq, ty, v, kn));
+                for &(k, target) in cases {
+                    let kn = self.g.add(Node::Const(Constant::int(*ty, k)));
+                    let eq = self.g.add(Node::Icmp(IcmpPred::Eq, *ty, v, kn));
                     let neq = self.g.not(eq);
                     not_any = self.g.and(not_any, neq);
                     match conds.get(&target) {
@@ -292,14 +328,14 @@ impl<'a> Builder<'a> {
                         }
                     }
                 }
-                match conds.get(&default) {
+                match conds.get(default) {
                     Some(&c) => {
                         let merged = self.g.or(c, not_any);
-                        conds.insert(default, merged);
+                        conds.insert(*default, merged);
                     }
                     None => {
-                        conds.insert(default, not_any);
-                        order.push(default);
+                        conds.insert(*default, not_any);
+                        order.push(*default);
                     }
                 }
                 order.into_iter().map(|t| (t, conds[&t])).collect()
@@ -357,11 +393,11 @@ impl<'a> Builder<'a> {
         let mut succs_of: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
         for (mi, m) in members.iter().enumerate() {
-            let blocks: Vec<BlockId> = match m {
-                Member::Block(b) => vec![*b],
-                Member::Loop(l) => lf.get(*l).body.clone(),
+            let blocks: &[BlockId] = match m {
+                Member::Block(b) => std::slice::from_ref(b),
+                Member::Loop(l) => &lf.get(*l).body,
             };
-            for b in blocks {
+            for &b in blocks {
                 for s in self.p.f.blocks[b.index()].term.successors() {
                     if lvl.is_some() && s == entry {
                         continue; // back edge (the latch)
@@ -427,8 +463,7 @@ impl<'a> Builder<'a> {
             let preheader = lf
                 .preheader(&self.p.cfg, l)
                 .ok_or_else(|| GateError::Malformed("loop without preheader".into()))?;
-            let phis = self.p.f.blocks[entry.index()].phis.clone();
-            for phi in &phis {
+            for phi in &self.p.f.blocks[entry.index()].phis {
                 let init_op = phi.incoming_from(preheader).ok_or_else(|| {
                     GateError::Malformed("header phi lacks preheader incoming".into())
                 })?;
@@ -458,7 +493,7 @@ impl<'a> Builder<'a> {
                 self.g.true_()
             } else {
                 let mut acc = self.g.false_();
-                for e in &incoming[mi].clone() {
+                for e in &incoming[mi] {
                     acc = self.g.or(acc, e.cond);
                 }
                 acc
@@ -471,15 +506,13 @@ impl<'a> Builder<'a> {
                     let (mem_in, alloc_in) = if mi == entry_member {
                         (header_mem, header_alloc)
                     } else {
-                        let edges = incoming[mi].clone();
-                        let mem = self.state_join(&edges, |e| e.mem);
-                        let alloc = self.state_join(&edges, |e| e.alloc);
+                        let mem = self.state_join(&incoming[mi], |e| e.mem);
+                        let alloc = self.state_join(&incoming[mi], |e| e.alloc);
                         (mem, alloc)
                     };
                     // φs (header φs already became μs).
                     if !(lvl.is_some() && mi == entry_member) {
-                        let phis = self.p.f.blocks[b.index()].phis.clone();
-                        for phi in &phis {
+                        for phi in &self.p.f.blocks[b.index()].phis {
                             let mut branches = Vec::new();
                             for &(pb, op) in &phi.incomings {
                                 let Some(e) = incoming[mi].iter().find(|e| e.pred_block == pb)
@@ -516,8 +549,7 @@ impl<'a> Builder<'a> {
                 }
                 Member::Loop(child) => {
                     // Exactly one incoming edge (from the preheader).
-                    let edges = incoming[mi].clone();
-                    let [e] = edges.as_slice() else {
+                    let &[e] = incoming[mi].as_slice() else {
                         return Err(GateError::Malformed(
                             "loop header with multiple outside edges".into(),
                         ));
@@ -569,7 +601,7 @@ impl<'a> Builder<'a> {
             if self.loop_allocates[l.index()] {
                 self.g.patch_mu(level_mus[mu_i], latch_alloc);
             }
-            let phis = self.p.f.blocks[entry.index()].phis.clone();
+            let phis = &self.p.f.blocks[entry.index()].phis;
             for (mu, dst) in &header_mu_regs {
                 let phi = phis.iter().find(|p| p.dst == *dst).expect("phi for mu");
                 let next_op = phi.incoming_from(latch).ok_or_else(|| {
@@ -605,10 +637,9 @@ impl<'a> Builder<'a> {
         mem_in: NodeId,
         alloc_in: NodeId,
     ) -> (NodeId, NodeId) {
-        let insts = self.p.f.blocks[b.index()].insts.clone();
         let mut mem = mem_in;
         let mut alloc = alloc_in;
-        for inst in &insts {
+        for inst in &self.p.f.blocks[b.index()].insts {
             match inst {
                 Inst::Bin { dst, op, ty, a, b: rhs } => {
                     let (x, y) = (self.use_val(*a, b), self.use_val(*rhs, b));

@@ -41,6 +41,8 @@ pub mod build;
 pub mod node;
 pub mod prep;
 
-pub use build::{build, build_prepared, BuildStats, GatedFunction};
-pub use node::{CalleeId, Node, NodeId, ValueGraph};
+pub use build::{
+    build, build_prepared, build_prepared_with, build_with, BuildStats, GatedFunction,
+};
+pub use node::{CalleeId, Interning, Node, NodeId, ValueGraph};
 pub use prep::{prepare, single_return, GateError, Prepared};

@@ -28,10 +28,12 @@
 
 use lir::func::GlobalId;
 use lir::inst::{BinOp, CastOp, FBinOp, FcmpPred, IcmpPred};
+use lir::intern::{Fnv1a, HashSlots, StrTab};
 use lir::types::Ty;
 use lir::value::Constant;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a node within a [`ValueGraph`] (or within the shared graph
 /// built from two of them).
@@ -326,24 +328,111 @@ impl Node {
     }
 }
 
+/// Which interner backs a value graph's hash-consing.
+///
+/// Both modes implement the same map from node structure to [`NodeId`], so
+/// they produce **byte-identical graphs** — same ids, same node order, same
+/// verdicts. [`Interning::Fast`] is the arena interner (FNV over kind +
+/// child ids into a [`HashSlots`] table that resolves candidates against
+/// the node arena itself, so nodes are stored exactly once);
+/// [`Interning::Naive`] is the original `HashMap<Node, NodeId>` (a second
+/// clone of every node as the map key, hashed with std's SipHash). The
+/// naive mode is retained as the differential-testing oracle: the
+/// `hashcons` test suite drives both over the full workload and asserts
+/// identical verdicts, triage and statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Interning {
+    /// Arena hash-consing: FNV-hashed open addressing over the node arena.
+    #[default]
+    Fast,
+    /// The original boxed-key `HashMap` interner (differential oracle).
+    Naive,
+}
+
+/// The interner behind [`ValueGraph::add`]: one of the two [`Interning`]
+/// modes, holding that mode's table.
+#[derive(Clone, Debug)]
+enum InternTable {
+    /// hash(node) → id, candidates resolved against the arena (no keys).
+    Fast(HashSlots),
+    /// node → id with owned keys (the pre-arena implementation).
+    Naive(HashMap<Node, NodeId>),
+}
+
+impl InternTable {
+    fn new(mode: Interning) -> InternTable {
+        match mode {
+            Interning::Fast => InternTable::Fast(HashSlots::new()),
+            Interning::Naive => InternTable::Naive(HashMap::new()),
+        }
+    }
+}
+
+impl Default for InternTable {
+    fn default() -> InternTable {
+        InternTable::new(Interning::Fast)
+    }
+}
+
+/// FNV-1a over a node's structure (kind tag + fields + child ids), via the
+/// derived [`Hash`] impl. Only used to bucket the in-memory interners
+/// (this graph's and the shared graph's in `llvm-md-core`) — never
+/// persisted — so equal nodes hashing equal is the only requirement.
+pub fn node_hash(n: &Node) -> u64 {
+    let mut h = Fnv1a::new();
+    n.hash(&mut h);
+    h.finish()
+}
+
 /// A hash-consed value graph for one function (or, in the validator, for a
 /// pair of functions sharing structure).
 ///
 /// Structurally equal non-μ nodes are interned to a single id. μ-nodes are
 /// allocated nominally via [`ValueGraph::new_mu`] and patched with
 /// [`ValueGraph::patch_mu`] once their back-edge value exists.
+///
+/// The graph is an arena: nodes live in one `Vec` in creation order, and
+/// the default [`Interning::Fast`] interner resolves hash-table candidates
+/// against that arena directly instead of keeping key copies. This is
+/// sound because non-μ arena slots are immutable after creation (only
+/// [`ValueGraph::patch_mu`] mutates, and only μ-nodes, which are never
+/// interned), so `nodes[id]` is always exactly the key that was interned
+/// under `id`.
 #[derive(Clone, Debug, Default)]
 pub struct ValueGraph {
     nodes: Vec<Node>,
-    intern: HashMap<Node, NodeId>,
-    callees: Vec<String>,
-    callee_ids: HashMap<String, CalleeId>,
+    intern: InternTable,
+    callees: StrTab,
 }
 
 impl ValueGraph {
-    /// An empty graph.
+    /// An empty graph with the default ([`Interning::Fast`]) interner.
     pub fn new() -> ValueGraph {
         ValueGraph::default()
+    }
+
+    /// An empty graph backed by the given interner mode.
+    pub fn with_interning(mode: Interning) -> ValueGraph {
+        ValueGraph { intern: InternTable::new(mode), ..ValueGraph::default() }
+    }
+
+    /// Which interner mode backs this graph.
+    pub fn interning(&self) -> Interning {
+        match self.intern {
+            InternTable::Fast(_) => Interning::Fast,
+            InternTable::Naive(_) => Interning::Naive,
+        }
+    }
+
+    /// Drop all nodes and callees, keeping the allocations (arena, interner
+    /// table, string table) for reuse on the next function.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        match &mut self.intern {
+            InternTable::Fast(slots) => slots.clear(),
+            InternTable::Naive(map) => map.clear(),
+        }
+        self.callees.clear();
     }
 
     /// Number of nodes (including unreachable ones).
@@ -366,20 +455,14 @@ impl ValueGraph {
         self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
     }
 
-    /// Intern a callee name.
+    /// Intern a callee name into the graph's string table.
     pub fn callee(&mut self, name: &str) -> CalleeId {
-        if let Some(&id) = self.callee_ids.get(name) {
-            return id;
-        }
-        let id = CalleeId(self.callees.len() as u32);
-        self.callees.push(name.to_owned());
-        self.callee_ids.insert(name.to_owned(), id);
-        id
+        CalleeId(self.callees.intern(name))
     }
 
     /// The name of an interned callee.
     pub fn callee_name(&self, id: CalleeId) -> &str {
-        &self.callees[id.index()]
+        self.callees.get(id.0)
     }
 
     /// Intern `node`, returning the id of the canonical copy.
@@ -389,13 +472,28 @@ impl ValueGraph {
     /// Panics on μ-nodes: those must go through [`ValueGraph::new_mu`].
     pub fn add(&mut self, node: Node) -> NodeId {
         assert!(!node.is_mu(), "mu nodes are nominal; use new_mu/patch_mu");
-        if let Some(&id) = self.intern.get(&node) {
-            return id;
+        let ValueGraph { nodes, intern, .. } = self;
+        match intern {
+            InternTable::Fast(slots) => {
+                let h = node_hash(&node);
+                if let Some(i) = slots.get(h, |i| nodes[i as usize] == node) {
+                    return NodeId(i);
+                }
+                let id = NodeId(nodes.len() as u32);
+                slots.insert(h, id.0);
+                nodes.push(node);
+                id
+            }
+            InternTable::Naive(map) => {
+                if let Some(&id) = map.get(&node) {
+                    return id;
+                }
+                let id = NodeId(nodes.len() as u32);
+                nodes.push(node.clone());
+                map.insert(node, id);
+                id
+            }
         }
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(node.clone());
-        self.intern.insert(node, id);
-        id
     }
 
     /// Allocate a fresh μ-node at `depth` with `init` and a self-referential

@@ -38,6 +38,7 @@ pub mod cfg;
 pub mod dom;
 pub mod func;
 pub mod inst;
+pub mod intern;
 pub mod interp;
 pub mod known;
 pub mod loops;

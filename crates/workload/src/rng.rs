@@ -24,16 +24,12 @@
 
 /// FNV-1a over `bytes`: the repo's one stable byte-string hash (seed
 /// material, structural fingerprints, per-function battery derivation all
-/// share this implementation — `llvm_md_core::cache` and the fuzz-campaign
-/// module addressing import it from here).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// share it — `llvm_md_core::cache` and the fuzz-campaign module
+/// addressing import it from here). The implementation lives in
+/// [`lir::intern`] since the hash-consed value-graph interners need it
+/// below this crate in the dependency graph; this re-export keeps the
+/// historical import path working.
+pub use lir::intern::fnv1a;
 
 /// SplitMix64: a tiny, fast, full-period 64-bit PRNG.
 #[derive(Clone, Debug)]
