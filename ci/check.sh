@@ -48,9 +48,13 @@ if [[ $fast -eq 0 ]]; then
   BENCH_OUT_DIR="$(mktemp -d)" cargo run --release --offline -q -p llvm_md_bench \
     --bin fig4_scaling -- --scale 16 --workers 2 --repeats 1 > /dev/null
 
-  echo "==> triage smoke (injected bugs must be caught)"
+  echo "==> triage + saturation smoke (bugs caught under every ablation, fallback beats destructive)"
   # table2_triage asserts nothing by itself, so check its artifact: every
-  # ablation must report injected_caught == injected_bugs.
+  # ablation — the two equality-saturation rows included — must report
+  # injected_caught == injected_bugs; the saturate-fallback row must alarm
+  # strictly less than the full destructive row (the e-graph exists to
+  # discharge those false alarms, never to add one); and no saturation run
+  # may die on a budget cap on the pinned suite.
   triage_dir="$(mktemp -d)"
   BENCH_OUT_DIR="$triage_dir" cargo run --release --offline -q -p llvm_md_bench \
     --bin table2_triage -- --scale 16 --battery 8 > /dev/null
@@ -62,8 +66,19 @@ for row in data["ablations"]:
         f"triage missed a miscompile under rules {row['rules']!r}: {row}"
     assert row["suite_real_miscompiles"] == 0, \
         f"suite pair misclassified as miscompile under rules {row['rules']!r}"
+    assert row["saturation_capped"] == 0, \
+        f"saturation hit a budget cap on the pinned suite under {row['rules']!r}: {row}"
+by_norm = {r["normalizer"]: r for r in data["ablations"] if r["rules"].startswith("full")}
+dest, fb = by_norm["destructive"], by_norm["saturate-fallback"]
+assert dest["suite_alarms"] > 0, "no stubborn destructive alarms left to discharge?"
+assert fb["suite_alarms"] < dest["suite_alarms"], \
+    f"saturate-fallback must alarm strictly less than destructive: " \
+    f"{fb['suite_alarms']} vs {dest['suite_alarms']}"
+assert fb["saturation_runs"] == dest["suite_alarms"], \
+    "fallback must saturate exactly the destructive alarms"
 print(f"triage smoke OK: {data['ablations'][0]['injected_bugs']} bugs caught under "
-      f"{len(data['ablations'])} ablations")
+      f"{len(data['ablations'])} ablations; saturation smoke OK: fallback "
+      f"{fb['suite_alarms']} alarms vs destructive {dest['suite_alarms']}")
 EOF
 
   echo "==> chain smoke (2-worker chain vs serial end-to-end, cache must hit)"

@@ -218,10 +218,60 @@ impl SharedGraph {
     /// (GVN numbers `a+b` and `b+a` identically, so the graph must too for
     /// hash-consing to share them.)
     pub fn resolve(&self, id: NodeId) -> Node {
-        let mut n = self.nodes[self.find(id).index()].clone();
+        self.resolve_at(self.find(id))
+    }
+
+    /// A copy of the node stored *at* `id` — not its class representative —
+    /// with children canonicalized exactly as [`SharedGraph::resolve`] does.
+    /// This is how the saturation engine views a non-representative e-class
+    /// member: the member's own structure, over canonical child classes.
+    pub fn resolve_at(&self, id: NodeId) -> Node {
+        let mut n = self.nodes[id.index()].clone();
         n.map_children(|c| self.find(c));
         Self::canon_node(&mut n);
         n
+    }
+
+    /// Rebuild the structural intern table from every node's *current*
+    /// resolved form — members included, first id wins.
+    ///
+    /// [`SharedGraph::rebuild`] interns representatives only, and
+    /// [`SharedGraph::reroot`] changes which children are canonical without
+    /// touching the table. The saturation engine calls this after rerooting
+    /// so that re-deriving a structure that already exists anywhere in some
+    /// class returns that class instead of minting a fresh node — otherwise
+    /// every demoted rewrite product is re-created each iteration and the
+    /// fixpoint is unreachable.
+    pub fn reintern(&mut self) {
+        self.intern.clear();
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            let n = self.resolve_at(id);
+            if n.is_mu() {
+                continue;
+            }
+            if self.intern.get(&n).is_none() {
+                self.intern.insert(n, id);
+            }
+        }
+    }
+
+    /// Make `member` the canonical representative of its e-class.
+    ///
+    /// Representatives are a *determinism policy* (min-id-wins in
+    /// [`SharedGraph::union`]), not a correctness invariant; the saturation
+    /// engine reroots classes onto a constant member so that constant-folding
+    /// predicates (`as_const` and friends), which inspect representatives
+    /// only, see through classes that merely *contain* a constant.
+    pub fn reroot(&mut self, member: NodeId) {
+        let root = self.find(member);
+        if root == member {
+            return;
+        }
+        // Order matters: detach `member` first so the old root's new parent
+        // chain terminates instead of cycling back through `member`.
+        self.parent[member.index()] = member.0;
+        self.parent[root.index()] = member.0;
     }
 
     /// Structural canonical form: φ branches sorted and de-duplicated,
@@ -560,6 +610,39 @@ mod tests {
         let map2 = g.import(&gf2);
         assert_eq!(g.len(), before, "second import adds no nodes");
         assert_eq!(map1[gf1.ret.unwrap().index()], map2[gf2.ret.unwrap().index()]);
+    }
+
+    #[test]
+    fn reroot_changes_representative_without_splitting_class() {
+        let mut g = SharedGraph::new();
+        let a = leaf(&mut g, 0);
+        let b = leaf(&mut g, 1);
+        let c = leaf(&mut g, 2);
+        g.union(a, b);
+        g.union(a, c);
+        assert_eq!(g.find(c), a);
+        g.reroot(c);
+        assert_eq!(g.find(a), c);
+        assert_eq!(g.find(b), c);
+        assert_eq!(g.find(c), c);
+        // Rerooting the current root is a no-op.
+        g.reroot(c);
+        assert_eq!(g.find(a), c);
+        // A later union with a smaller id can demote again.
+        let d = leaf(&mut g, 3);
+        g.union(d, a);
+        assert_eq!(g.find(d), g.find(c));
+    }
+
+    #[test]
+    fn resolve_at_sees_member_structure() {
+        let mut g = SharedGraph::new();
+        let a = leaf(&mut g, 0);
+        let b = leaf(&mut g, 1);
+        let sum = g.add(Node::Bin(BinOp::Add, Ty::I64, a, b));
+        g.union(a, sum); // class {a, a+b}, rep = a
+        assert!(matches!(g.resolve(sum), Node::Param(0)));
+        assert!(matches!(g.resolve_at(sum), Node::Bin(BinOp::Add, ..)));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod alias;
 pub mod cache;
 pub mod cycles;
+pub mod egraph;
 pub mod graph;
 pub mod rules;
 pub mod triage;
@@ -60,11 +61,13 @@ pub mod wire;
 
 pub use cache::{fingerprint, fingerprint_canonical, module_fingerprints, CacheStats, GraphCache};
 pub use cycles::MatchStrategy;
+pub use egraph::{SaturationLimits, SaturationStats};
 pub use gated_ssa::Interning;
 pub use graph::SharedGraph;
-pub use rules::{RewriteCounts, RuleBudgets, RuleSet};
+pub use rules::{RewriteCounts, RuleBudgets, RuleSet, RULE_ENGINE_VERSION};
 pub use triage::{Triage, TriageClass, TriageOptions, TriagedVerdict, VerdictClass, Witness};
 pub use validate::{
-    validate, Deadline, DivergentRoots, FailReason, Limits, ValidationStats, Validator, Verdict,
+    validate, Deadline, DivergentRoots, FailReason, Limits, Normalizer, ValidationStats, Validator,
+    Verdict,
 };
 pub use wire::{FromWire, Json, ToWire, WireError, SCHEMA_VERSION};

@@ -25,7 +25,12 @@ use lir::inst::{
 };
 use lir::types::Ty;
 use lir::value::Constant;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Version of the rule catalogue and rewrite engines. Persisted verdicts are
+/// keyed on it (alongside the normalizer mode), so changing what a rule can
+/// prove invalidates stale cache lines instead of replaying them.
+pub const RULE_ENGINE_VERSION: u64 = 1;
 
 /// Which rule groups are enabled. Mirrors the paper's ablation axes.
 ///
@@ -184,6 +189,18 @@ pub struct RewriteCounts {
 }
 
 impl RewriteCounts {
+    pub(crate) fn bump(&mut self, group: Group) {
+        match group {
+            Group::Phi => self.phi += 1,
+            Group::ConstFold => self.constfold += 1,
+            Group::LoadStore => self.loadstore += 1,
+            Group::Eta => self.eta += 1,
+            Group::Commuting => self.commuting += 1,
+            Group::Libc => self.libc += 1,
+            Group::Float => self.float += 1,
+        }
+    }
+
     /// Total rewrites.
     pub fn total(&self) -> u64 {
         self.phi
@@ -213,7 +230,7 @@ pub struct RuleBudgets {
 
 /// Which group produced a rewrite.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Group {
+pub(crate) enum Group {
     Phi,
     ConstFold,
     LoadStore,
@@ -221,6 +238,68 @@ enum Group {
     Commuting,
     Libc,
     Float,
+}
+
+/// How a rule sees the children of the node it is matching.
+///
+/// The destructive engine only ever sees a child as its canonical
+/// representative; the saturation engine exposes the child's whole e-class,
+/// so a memory rule can match a `Store` that a previous rewrite demoted to a
+/// non-representative member. Only the child-structure-inspecting memory
+/// rules consult the view — pure rules read constants through
+/// representatives, which the saturation engine keeps honest by rerooting
+/// constant-bearing classes ([`SharedGraph::reroot`]).
+pub(crate) enum ClassView<'a> {
+    /// A child is its canonical representative only (destructive engine).
+    Rep,
+    /// A child is its whole e-class: representative → ascending member ids.
+    Members(&'a HashMap<NodeId, Vec<NodeId>>),
+}
+
+impl ClassView<'_> {
+    /// The structural variants of child `id` under this view, representative
+    /// first. Congruent duplicates (members resolving to a structure already
+    /// listed) are dropped — they add no matching power.
+    pub(crate) fn variants(&self, g: &SharedGraph, id: NodeId) -> Vec<Node> {
+        let rep = g.find(id);
+        let mut out = vec![g.resolve(rep)];
+        if let ClassView::Members(members) = self {
+            if let Some(ms) = members.get(&rep) {
+                for &m in ms {
+                    if m == rep {
+                        continue;
+                    }
+                    let n = g.resolve_at(m);
+                    if !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Everything a rewrite attempt needs besides the graph: the enabled rule
+/// groups, the per-sweep analyses, and the child view.
+pub(crate) struct RuleCtx<'a> {
+    pub(crate) rules: &'a RuleSet,
+    pub(crate) esc: &'a Escapes,
+    pub(crate) dead: &'a HashSet<NodeId>,
+    pub(crate) evidence: &'a HashSet<NodeId>,
+    pub(crate) view: ClassView<'a>,
+}
+
+/// Compute the per-sweep analyses (escapes, dead allocas, unswitch
+/// evidence) the rules consult, from a liveness vector.
+pub(crate) fn sweep_analyses(
+    g: &SharedGraph,
+    live: &[bool],
+) -> (Escapes, HashSet<NodeId>, HashSet<NodeId>) {
+    let esc = Escapes::compute(g, live);
+    let dead = dead_allocas(g, live, &esc);
+    let evidence = unswitch_evidence(g, live);
+    (esc, dead, evidence)
 }
 
 /// Apply one sweep of the enabled rules over the live graph. Returns the
@@ -233,9 +312,8 @@ pub fn apply_rules(
     budgets: &mut RuleBudgets,
 ) -> usize {
     let live = g.live_set(roots);
-    let esc = Escapes::compute(g, &live);
-    let dead = dead_allocas(g, &live, &esc);
-    let evidence = unswitch_evidence(g, &live);
+    let (esc, dead, evidence) = sweep_analyses(g, &live);
+    let cx = RuleCtx { rules, esc: &esc, dead: &dead, evidence: &evidence, view: ClassView::Rep };
     let mut rewrites = 0;
     let upper = live.len(); // nodes added during the sweep are visited next round
     for (i, &is_live) in live.iter().enumerate().take(upper) {
@@ -246,70 +324,273 @@ pub fn apply_rules(
         if g.find(id) != id {
             continue;
         }
-        if let Some((new, group)) = rewrite_node(g, id, rules, &esc, &dead, &evidence, budgets) {
+        let n = g.resolve(id);
+        if let Some((new, group)) = rewrite_first(g, &n, &cx, budgets) {
             if g.replace(id, new) {
                 rewrites += 1;
-                match group {
-                    Group::Phi => counts.phi += 1,
-                    Group::ConstFold => counts.constfold += 1,
-                    Group::LoadStore => counts.loadstore += 1,
-                    Group::Eta => counts.eta += 1,
-                    Group::Commuting => counts.commuting += 1,
-                    Group::Libc => counts.libc += 1,
-                    Group::Float => counts.float += 1,
-                }
+                counts.bump(group);
             }
         }
     }
     rewrites
 }
 
-fn rewrite_node(
+/// The destructive engine's dispatch: the first rule group that matches `n`
+/// wins (group priority is the paper's rule order).
+fn rewrite_first(
     g: &mut SharedGraph,
-    id: NodeId,
-    rules: &RuleSet,
-    esc: &Escapes,
-    dead: &std::collections::HashSet<NodeId>,
-    evidence: &std::collections::HashSet<NodeId>,
+    n: &Node,
+    cx: &RuleCtx,
     budgets: &mut RuleBudgets,
 ) -> Option<(NodeId, Group)> {
-    let n = g.resolve(id);
-    if rules.phi {
-        if let Some(new) = try_phi(g, &n) {
+    if cx.rules.phi {
+        if let Some(new) = try_phi(g, n) {
             return Some((new, Group::Phi));
         }
     }
-    if rules.constfold {
-        if let Some(new) = try_constfold(g, &n) {
+    if cx.rules.constfold {
+        if let Some(new) = try_constfold(g, n) {
             return Some((new, Group::ConstFold));
         }
     }
-    if rules.loadstore {
-        if let Some(new) = try_loadstore(g, &n, esc, dead, rules) {
+    if cx.rules.loadstore {
+        if let Some(new) = try_loadstore(g, n, cx) {
             return Some((new, Group::LoadStore));
         }
     }
-    if rules.eta {
-        if let Some(new) = try_eta(g, &n) {
+    if cx.rules.eta {
+        if let Some(new) = try_eta(g, n) {
             return Some((new, Group::Eta));
         }
     }
-    if rules.commuting {
-        if let Some(new) = try_commuting(g, &n, evidence, budgets) {
+    if cx.rules.commuting {
+        if let Some(new) = try_commuting(g, n, cx.evidence, budgets) {
             return Some((new, Group::Commuting));
         }
     }
-    if rules.libc {
-        if let Some(new) = try_libc(g, &n, esc) {
+    if cx.rules.libc {
+        if let Some(new) = try_libc(g, n, cx) {
             return Some((new, Group::Libc));
         }
     }
-    if rules.float {
-        if let Some(new) = try_float(g, &n) {
+    if cx.rules.float {
+        if let Some(new) = try_float(g, n) {
             return Some((new, Group::Float));
         }
     }
     None
+}
+
+/// The saturation engine's dispatch: *every* enabled rule group gets a shot
+/// at `n`, and each hit is pushed into `out`. Non-destructive union-ing
+/// keeps all the results, so no group may shadow another the way
+/// [`rewrite_first`]'s priority order does.
+pub(crate) fn rewrite_all(
+    g: &mut SharedGraph,
+    n: &Node,
+    cx: &RuleCtx,
+    budgets: &mut RuleBudgets,
+    out: &mut Vec<(NodeId, Group)>,
+) {
+    if cx.rules.phi {
+        if let Some(new) = try_phi(g, n) {
+            out.push((new, Group::Phi));
+        }
+    }
+    if cx.rules.constfold {
+        if let Some(new) = try_constfold(g, n) {
+            out.push((new, Group::ConstFold));
+        }
+    }
+    if cx.rules.loadstore {
+        if let Some(new) = try_loadstore(g, n, cx) {
+            out.push((new, Group::LoadStore));
+        }
+    }
+    if cx.rules.eta {
+        if let Some(new) = try_eta(g, n) {
+            out.push((new, Group::Eta));
+        }
+    }
+    if cx.rules.commuting {
+        if let Some(new) = try_commuting(g, n, cx.evidence, budgets) {
+            out.push((new, Group::Commuting));
+        }
+    }
+    if cx.rules.libc {
+        if let Some(new) = try_libc(g, n, cx) {
+            out.push((new, Group::Libc));
+        }
+    }
+    if cx.rules.float {
+        if let Some(new) = try_float(g, n) {
+            out.push((new, Group::Float));
+        }
+    }
+    if cx.rules.phi {
+        bool_sat(g, n, out);
+    }
+    if cx.rules.commuting {
+        eta_pull(g, n, cx, out);
+    }
+}
+
+/// η pull-up — the saturation-only inverse of the commuting η push-down:
+/// `f(η(c,x), y) = η(c, f(x, y))` for a pure operator whose η children
+/// share one loop exit and whose other children are invariant at that
+/// depth. As a destructive rewrite this direction would fight the
+/// push-down forever; as a union the two forms coexist, and pulling the η
+/// out lets the rebuilt body meet the exit condition itself (`η(c,c)`).
+/// Child ηs are matched over class *variants*, not representatives — after
+/// a destructive pass the pushed form is canonical and the η survives only
+/// as a member.
+fn eta_pull(g: &mut SharedGraph, n: &Node, cx: &RuleCtx, out: &mut Vec<(NodeId, Group)>) {
+    if !matches!(
+        n,
+        Node::Bin(..)
+            | Node::FBin(..)
+            | Node::Icmp(..)
+            | Node::Fcmp(..)
+            | Node::Cast(..)
+            | Node::Gep(..)
+    ) {
+        return;
+    }
+    let children = n.children();
+    // Anchor the shared loop exit (depth, cond) on the first η variant
+    // found, then require every other η child to match it.
+    let mut dc: Option<(u32, NodeId)> = None;
+    let mut vals: HashMap<NodeId, NodeId> = HashMap::new();
+    for &ch in &children {
+        if vals.contains_key(&ch) {
+            continue;
+        }
+        for v in cx.view.variants(g, ch) {
+            if let Node::Eta { depth, cond, val } = v {
+                match dc {
+                    None => {
+                        dc = Some((depth, g.find(cond)));
+                        vals.insert(ch, g.find(val));
+                    }
+                    Some((d, c)) if depth == d && g.same(cond, c) => {
+                        vals.insert(ch, g.find(val));
+                    }
+                    Some(_) => continue,
+                }
+                break;
+            }
+        }
+    }
+    let Some((d, c)) = dc else { return };
+    for &ch in &children {
+        if vals.contains_key(&ch) {
+            continue;
+        }
+        if varies_at_depth(g, ch, d) {
+            return;
+        }
+        vals.insert(ch, g.find(ch));
+    }
+    let mut inner = n.clone();
+    inner.map_children(|ch| vals[&ch]);
+    let body = g.add(inner);
+    out.push((eta_or_self(g, d, c, body), Group::Commuting));
+}
+
+/// Boolean-algebra equalities usable only under saturation — hence pushed
+/// from [`rewrite_all`] and absent from [`rewrite_first`]: as destructive
+/// rewrites, associativity loops and factoring destroys the expanded form
+/// another rule may still need, but as e-class unions they let gate
+/// conditions that the two pipelines assembled in different orders meet in
+/// the middle. `i1` values only; commutativity is already handled by
+/// operand canonicalization.
+fn bool_sat(g: &mut SharedGraph, n: &Node, out: &mut Vec<(NodeId, Group)>) {
+    let Node::Bin(op, Ty::I1, a, b) = n else { return };
+    let op = *op;
+    let (a, b) = (g.find(*a), g.find(*b));
+    if op == BinOp::Xor {
+        // Double negation and De Morgan, on ¬w = xor(true, w).
+        let w = if is_const_bool(g, a, true) {
+            b
+        } else if is_const_bool(g, b, true) {
+            a
+        } else {
+            return;
+        };
+        match g.resolve(w) {
+            // ¬¬p = p.
+            Node::Bin(BinOp::Xor, Ty::I1, p, q) if is_const_bool(g, p, true) => {
+                out.push((g.find(q), Group::Phi));
+            }
+            Node::Bin(BinOp::Xor, Ty::I1, p, q) if is_const_bool(g, q, true) => {
+                out.push((g.find(p), Group::Phi));
+            }
+            // ¬(p ∧ q) = ¬p ∨ ¬q, ¬(p ∨ q) = ¬p ∧ ¬q.
+            Node::Bin(i @ (BinOp::And | BinOp::Or), Ty::I1, p, q) => {
+                let d = if i == BinOp::And { BinOp::Or } else { BinOp::And };
+                let np = mk_not(g, p);
+                let nq = mk_not(g, q);
+                out.push((g.add(Node::Bin(d, Ty::I1, np, nq)), Group::Phi));
+            }
+            _ => {}
+        }
+        return;
+    }
+    if !matches!(op, BinOp::And | BinOp::Or) {
+        return;
+    }
+    let dual = if op == BinOp::And { BinOp::Or } else { BinOp::And };
+    // Complement: P ∧ ¬P = false, P ∨ ¬P = true.
+    if not_of(g, a, b) || not_of(g, b, a) {
+        out.push((bool_const(g, op == BinOp::Or), Group::Phi));
+        return;
+    }
+    for (x, y) in [(a, b), (b, a)] {
+        if let Node::Bin(i, Ty::I1, p, q) = g.resolve(y) {
+            if i == dual {
+                // Absorption: P ∧ (P ∨ Q) = P, P ∨ (P ∧ Q) = P.
+                if g.same(p, x) || g.same(q, x) {
+                    out.push((x, Group::Phi));
+                }
+                // Reduced absorption — the path-condition law:
+                // P ∨ (¬P ∧ E) = P ∨ E and P ∧ (¬P ∨ E) = P ∧ E.
+                if not_of(g, p, x) || not_of(g, x, p) {
+                    out.push((g.add(Node::Bin(op, Ty::I1, x, q)), Group::Phi));
+                }
+                if not_of(g, q, x) || not_of(g, x, q) {
+                    out.push((g.add(Node::Bin(op, Ty::I1, x, p)), Group::Phi));
+                }
+            }
+            // Associativity: (p ∘ q) ∘ x joins both regroupings.
+            if i == op {
+                let qx = g.add(Node::Bin(op, Ty::I1, q, x));
+                out.push((g.add(Node::Bin(op, Ty::I1, p, qx)), Group::Phi));
+                let px = g.add(Node::Bin(op, Ty::I1, p, x));
+                out.push((g.add(Node::Bin(op, Ty::I1, q, px)), Group::Phi));
+            }
+        }
+    }
+    // Factoring: (P∧Q) ∨ (P∧R) = P ∧ (Q∨R), and dually.
+    if let (Node::Bin(ia, Ty::I1, p, q), Node::Bin(ib, Ty::I1, r, s)) = (g.resolve(a), g.resolve(b))
+    {
+        if ia == dual && ib == dual {
+            for (c1, o1, c2, o2) in [(p, q, r, s), (p, q, s, r), (q, p, r, s), (q, p, s, r)] {
+                if g.same(c1, c2) {
+                    let rest = g.add(Node::Bin(op, Ty::I1, o1, o2));
+                    out.push((g.add(Node::Bin(dual, Ty::I1, c1, rest)), Group::Phi));
+                }
+            }
+        }
+    }
+}
+
+/// Does `x` resolve to `¬y` (canonically `xor true y`)?
+fn not_of(g: &SharedGraph, x: NodeId, y: NodeId) -> bool {
+    if let Node::Bin(BinOp::Xor, Ty::I1, u, v) = g.resolve(x) {
+        (is_const_bool(g, u, true) && g.same(v, y)) || (is_const_bool(g, v, true) && g.same(u, y))
+    } else {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -536,67 +817,74 @@ fn try_constfold(g: &mut SharedGraph, n: &Node) -> Option<NodeId> {
 // Memory rules (paper rules 10–11 and the DSE/ObsMem family).
 // ---------------------------------------------------------------------------
 
-fn try_loadstore(
-    g: &mut SharedGraph,
-    n: &Node,
-    esc: &Escapes,
-    dead: &std::collections::HashSet<NodeId>,
-    rules: &RuleSet,
-) -> Option<NodeId> {
+fn try_loadstore(g: &mut SharedGraph, n: &Node, cx: &RuleCtx) -> Option<NodeId> {
+    let esc = cx.esc;
     match n {
-        Node::Load { ty, ptr, mem } => match g.resolve(*mem) {
-            // Rule (11): load of a just-stored value.
-            Node::Store { ty: sty, val, ptr: q, mem: m2 } => {
-                if sty == *ty && must_alias(g, *ptr, q) {
-                    return Some(val);
+        Node::Load { ty, ptr, mem } => {
+            for mv in cx.view.variants(g, *mem) {
+                match mv {
+                    // Rule (11): load of a just-stored value.
+                    Node::Store { ty: sty, val, ptr: q, mem: m2 } => {
+                        if sty == *ty && must_alias(g, *ptr, q) {
+                            return Some(val);
+                        }
+                        // Rule (10): the load jumps over a non-aliasing store.
+                        if no_alias(g, Some(esc), *ptr, ty.bytes(), q, sty.bytes()) {
+                            return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: m2 }));
+                        }
+                    }
+                    // Loads jump over loops whose stores can't alias the
+                    // pointer (what GVN+LICM exploit to keep loads out of
+                    // loops).
+                    Node::Mu { init, next, .. } => {
+                        let Some(writers) = collect_loop_writers(g, g.find(*mem), next) else {
+                            continue;
+                        };
+                        if writers.iter().any(|w| w.is_call) && !cx.rules.libc {
+                            continue;
+                        }
+                        if writers
+                            .iter()
+                            .all(|w| no_alias(g, Some(esc), *ptr, ty.bytes(), w.ptr, w.size))
+                        {
+                            return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: init }));
+                        }
+                    }
+                    _ => {}
                 }
-                // Rule (10): the load jumps over a non-aliasing store.
-                if no_alias(g, Some(esc), *ptr, ty.bytes(), q, sty.bytes()) {
-                    return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: m2 }));
-                }
-                None
             }
-            // Loads jump over loops whose stores can't alias the pointer
-            // (what GVN+LICM exploit to keep loads out of loops).
-            Node::Mu { init, .. } => {
-                let writers = collect_loop_writers(g, g.find(*mem))?;
-                let callmem_involved = writers.iter().any(|w| w.is_call);
-                if callmem_involved && !rules.libc {
-                    return None;
-                }
-                if writers.iter().all(|w| no_alias(g, Some(esc), *ptr, ty.bytes(), w.ptr, w.size)) {
-                    return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: init }));
-                }
-                None
-            }
-            _ => None,
-        },
+            None
+        }
         Node::Store { ty, val, ptr, mem } => {
             // Dead-alloca purge: nothing ever reads this allocation.
             if let GBase::Alloca(a) = ptr_info(g, *ptr).base {
-                if dead.contains(&g.find(a)) {
+                if cx.dead.contains(&g.find(a)) {
                     return Some(*mem);
                 }
             }
             // Storing back a value just loaded from the same place is a no-op.
-            if let Node::Load { ty: lty, ptr: lp, mem: lm } = g.resolve(*val) {
-                if lty == *ty && g.same(lm, *mem) && must_alias(g, lp, *ptr) {
-                    return Some(*mem);
+            for vv in cx.view.variants(g, *val) {
+                if let Node::Load { ty: lty, ptr: lp, mem: lm } = vv {
+                    if lty == *ty && g.same(lm, *mem) && must_alias(g, lp, *ptr) {
+                        return Some(*mem);
+                    }
                 }
             }
-            if let Node::Store { ty: ity, val: ival, ptr: q, mem: m2 } = g.resolve(*mem) {
-                // Store-over-store (DSE): the inner store is overwritten.
-                if ity == *ty && must_alias(g, *ptr, q) {
-                    return Some(g.add(Node::Store { ty: *ty, val: *val, ptr: *ptr, mem: m2 }));
-                }
-                // Canonical order for provably independent stores, so chains
-                // compare equal regardless of emission order and dead stack
-                // stores can bubble up to the ObsMem root.
-                if no_alias(g, Some(esc), *ptr, ty.bytes(), q, ity.bytes())
-                    && g.find(q) < g.find(*ptr)
-                {
-                    let inner = g.add(Node::Store { ty: *ty, val: *val, ptr: *ptr, mem: m2 });
-                    return Some(g.add(Node::Store { ty: ity, val: ival, ptr: q, mem: inner }));
+            for mv in cx.view.variants(g, *mem) {
+                if let Node::Store { ty: ity, val: ival, ptr: q, mem: m2 } = mv {
+                    // Store-over-store (DSE): the inner store is overwritten.
+                    if ity == *ty && must_alias(g, *ptr, q) {
+                        return Some(g.add(Node::Store { ty: *ty, val: *val, ptr: *ptr, mem: m2 }));
+                    }
+                    // Canonical order for provably independent stores, so
+                    // chains compare equal regardless of emission order and
+                    // dead stack stores can bubble up to the ObsMem root.
+                    if no_alias(g, Some(esc), *ptr, ty.bytes(), q, ity.bytes())
+                        && g.find(q) < g.find(*ptr)
+                    {
+                        let inner = g.add(Node::Store { ty: *ty, val: *val, ptr: *ptr, mem: m2 });
+                        return Some(g.add(Node::Store { ty: ity, val: ival, ptr: q, mem: inner }));
+                    }
                 }
             }
             None
@@ -605,28 +893,34 @@ fn try_loadstore(
         // at return) and distributes over merges. Stack stores deeper in
         // the chain are removed by the dead-alloca purge below once nothing
         // loads from them.
-        Node::ObsMem(m) => match g.resolve(*m) {
-            Node::Store { ptr, mem, .. } if stack_rooted(g, ptr) => Some(g.add(Node::ObsMem(mem))),
-            Node::CallMem { callee, args, mem } => {
-                let name = g.callee_name(callee).to_owned();
-                if rules.libc && write_dest(&name).is_some() && stack_rooted(g, args[0]) {
-                    Some(g.add(Node::ObsMem(mem)))
-                } else {
-                    None
+        Node::ObsMem(m) => {
+            for mv in cx.view.variants(g, *m) {
+                match mv {
+                    Node::Store { ptr, mem, .. } if stack_rooted(g, ptr) => {
+                        return Some(g.add(Node::ObsMem(mem)));
+                    }
+                    Node::CallMem { callee, args, mem } => {
+                        let name = g.callee_name(callee).to_owned();
+                        if cx.rules.libc && write_dest(&name).is_some() && stack_rooted(g, args[0])
+                        {
+                            return Some(g.add(Node::ObsMem(mem)));
+                        }
+                    }
+                    Node::Phi { branches } => {
+                        let bs: Vec<(NodeId, NodeId)> =
+                            branches.iter().map(|&(c, v)| (c, g.add(Node::ObsMem(v)))).collect();
+                        return Some(g.add(Node::Phi { branches: bs.into_boxed_slice() }));
+                    }
+                    Node::Eta { depth, cond, val } => {
+                        let inner = g.add(Node::ObsMem(val));
+                        return Some(g.add(Node::Eta { depth, cond, val: inner }));
+                    }
+                    Node::InitMem => return Some(g.add(Node::InitMem)),
+                    _ => {}
                 }
             }
-            Node::Phi { branches } => {
-                let bs: Vec<(NodeId, NodeId)> =
-                    branches.iter().map(|&(c, v)| (c, g.add(Node::ObsMem(v)))).collect();
-                Some(g.add(Node::Phi { branches: bs.into_boxed_slice() }))
-            }
-            Node::Eta { depth, cond, val } => {
-                let inner = g.add(Node::ObsMem(val));
-                Some(g.add(Node::Eta { depth, cond, val: inner }))
-            }
-            Node::InitMem => Some(g.add(Node::InitMem)),
-            _ => None,
-        },
+            None
+        }
         _ => None,
     }
 }
@@ -676,16 +970,14 @@ struct LoopWriter {
     is_call: bool,
 }
 
-/// Collect every write in the memory cycle of μ-node `mu` (following memory
-/// chains from `next` back to the μ). Returns `None` when an unknown writer
-/// (arbitrary call) or unexpected structure is found.
-fn collect_loop_writers(g: &SharedGraph, mu: NodeId) -> Option<Vec<LoopWriter>> {
-    let next = match g.node(mu) {
-        Node::Mu { next, .. } => g.find(*next),
-        _ => return None,
-    };
+/// Collect every write in the memory cycle of μ-class `mu` (following memory
+/// chains from back edge `next` toward the μ). Returns `None` when an
+/// unknown writer (arbitrary call) or unexpected structure is found. `next`
+/// is passed in rather than read from the class representative so a μ
+/// *member* of a mixed class can be walked too.
+fn collect_loop_writers(g: &SharedGraph, mu: NodeId, next: NodeId) -> Option<Vec<LoopWriter>> {
     let mut out = Vec::new();
-    let mut stack = vec![next];
+    let mut stack = vec![g.find(next)];
     let mut seen = std::collections::HashSet::new();
     let mut steps = 0;
     while let Some(m) = stack.pop() {
@@ -1167,7 +1459,8 @@ fn write_dest(name: &str) -> Option<(usize, usize)> {
     }
 }
 
-fn try_libc(g: &mut SharedGraph, n: &Node, esc: &Escapes) -> Option<NodeId> {
+fn try_libc(g: &mut SharedGraph, n: &Node, cx: &RuleCtx) -> Option<NodeId> {
+    let esc = cx.esc;
     match n {
         // Readonly calls jump over non-aliasing memory effects (the
         // `strlen`-hoisted-by-LICM case of §5.3, and the atoi reordering).
@@ -1175,56 +1468,57 @@ fn try_libc(g: &mut SharedGraph, n: &Node, esc: &Escapes) -> Option<NodeId> {
             let name = g.callee_name(*callee).to_owned();
             let reads = readonly_ptr_args(&name)?;
             let read_ptrs: Vec<NodeId> = reads.iter().map(|&i| args[i]).collect();
-            match g.resolve(*mem) {
-                Node::Store { ty, ptr, mem: m2, .. } => {
-                    if read_ptrs
-                        .iter()
-                        .all(|&p| no_alias(g, Some(esc), p, u64::MAX, ptr, ty.bytes()))
-                    {
-                        return Some(g.add(Node::CallVal {
-                            callee: *callee,
-                            ret: *ret,
-                            args: args.clone(),
-                            mem: m2,
-                        }));
-                    }
-                    None
-                }
-                Node::CallMem { callee: wc, args: wargs, mem: m2 } => {
-                    let wname = g.callee_name(wc).to_owned();
-                    let (di, li) = write_dest(&wname)?;
-                    let wsize = as_int_bits(g, wargs[li]).unwrap_or(u64::MAX);
-                    if read_ptrs
-                        .iter()
-                        .all(|&p| no_alias(g, Some(esc), p, u64::MAX, wargs[di], wsize))
-                    {
-                        return Some(g.add(Node::CallVal {
-                            callee: *callee,
-                            ret: *ret,
-                            args: args.clone(),
-                            mem: m2,
-                        }));
-                    }
-                    None
-                }
-                Node::Mu { init, .. } => {
-                    let writers = collect_loop_writers(g, g.find(*mem))?;
-                    if writers.iter().all(|w| {
-                        read_ptrs
+            for mv in cx.view.variants(g, *mem) {
+                match mv {
+                    Node::Store { ty, ptr, mem: m2, .. }
+                        if read_ptrs
                             .iter()
-                            .all(|&p| no_alias(g, Some(esc), p, u64::MAX, w.ptr, w.size))
-                    }) {
+                            .all(|&p| no_alias(g, Some(esc), p, u64::MAX, ptr, ty.bytes())) =>
+                    {
                         return Some(g.add(Node::CallVal {
                             callee: *callee,
                             ret: *ret,
                             args: args.clone(),
-                            mem: init,
+                            mem: m2,
                         }));
                     }
-                    None
+                    Node::CallMem { callee: wc, args: wargs, mem: m2 } => {
+                        let wname = g.callee_name(wc).to_owned();
+                        let Some((di, li)) = write_dest(&wname) else { continue };
+                        let wsize = as_int_bits(g, wargs[li]).unwrap_or(u64::MAX);
+                        if read_ptrs
+                            .iter()
+                            .all(|&p| no_alias(g, Some(esc), p, u64::MAX, wargs[di], wsize))
+                        {
+                            return Some(g.add(Node::CallVal {
+                                callee: *callee,
+                                ret: *ret,
+                                args: args.clone(),
+                                mem: m2,
+                            }));
+                        }
+                    }
+                    Node::Mu { init, next, .. } => {
+                        let Some(writers) = collect_loop_writers(g, g.find(*mem), next) else {
+                            continue;
+                        };
+                        if writers.iter().all(|w| {
+                            read_ptrs
+                                .iter()
+                                .all(|&p| no_alias(g, Some(esc), p, u64::MAX, w.ptr, w.size))
+                        }) {
+                            return Some(g.add(Node::CallVal {
+                                callee: *callee,
+                                ret: *ret,
+                                args: args.clone(),
+                                mem: init,
+                            }));
+                        }
+                    }
+                    _ => {}
                 }
-                _ => None,
             }
+            None
         }
         // memset forwarding: a load fully inside a constant memset region
         // yields the splatted byte (paper §5.3's second example rule).
@@ -1232,37 +1526,40 @@ fn try_libc(g: &mut SharedGraph, n: &Node, esc: &Escapes) -> Option<NodeId> {
             if !ty.is_int() {
                 return None;
             }
-            let Node::CallMem { callee, args, mem: m2 } = g.resolve(*mem) else {
-                return None;
-            };
-            let name = g.callee_name(callee).to_owned();
-            if name != "memset" {
-                return None;
-            }
-            let byte = as_int_bits(g, args[1])? & 0xff;
-            let len = as_int_bits(g, args[2])?;
-            let pi = ptr_info(g, *ptr);
-            let di = ptr_info(g, args[0]);
-            let same = match (pi.base, di.base) {
-                (GBase::Alloca(a), GBase::Alloca(b)) => g.find(a) == g.find(b),
-                (GBase::Global(a), GBase::Global(b)) => a == b,
-                (GBase::Param(a), GBase::Param(b)) => a == b,
-                _ => false,
-            };
-            if !same {
-                // Maybe it's *outside* the memset: then the load jumps it.
-                if no_alias(g, Some(esc), *ptr, ty.bytes(), args[0], len) {
-                    return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: m2 }));
+            for mv in cx.view.variants(g, *mem) {
+                let Node::CallMem { callee, args, mem: m2 } = mv else { continue };
+                let name = g.callee_name(callee).to_owned();
+                if name != "memset" {
+                    continue;
                 }
-                return None;
-            }
-            let (po, do_) = (pi.offset?, di.offset?);
-            if po >= do_ && po.saturating_add(ty.bytes() as i64) <= do_.saturating_add(len as i64) {
-                let mut v: u64 = 0;
-                for i in 0..ty.bytes() {
-                    v |= byte << (8 * i);
+                let Some(raw_byte) = as_int_bits(g, args[1]) else { continue };
+                let byte = raw_byte & 0xff;
+                let Some(len) = as_int_bits(g, args[2]) else { continue };
+                let pi = ptr_info(g, *ptr);
+                let di = ptr_info(g, args[0]);
+                let same = match (pi.base, di.base) {
+                    (GBase::Alloca(a), GBase::Alloca(b)) => g.find(a) == g.find(b),
+                    (GBase::Global(a), GBase::Global(b)) => a == b,
+                    (GBase::Param(a), GBase::Param(b)) => a == b,
+                    _ => false,
+                };
+                if !same {
+                    // Maybe it's *outside* the memset: then the load jumps it.
+                    if no_alias(g, Some(esc), *ptr, ty.bytes(), args[0], len) {
+                        return Some(g.add(Node::Load { ty: *ty, ptr: *ptr, mem: m2 }));
+                    }
+                    continue;
                 }
-                return Some(konst(g, Constant::int(*ty, ty.sext(v))));
+                let (Some(po), Some(do_)) = (pi.offset, di.offset) else { continue };
+                if po >= do_
+                    && po.saturating_add(ty.bytes() as i64) <= do_.saturating_add(len as i64)
+                {
+                    let mut v: u64 = 0;
+                    for i in 0..ty.bytes() {
+                        v |= byte << (8 * i);
+                    }
+                    return Some(konst(g, Constant::int(*ty, ty.sext(v))));
+                }
             }
             None
         }

@@ -2,6 +2,7 @@
 //! until the roots merge or nothing more applies (paper §2, Fig. 1).
 
 use crate::cycles::{match_cycles, MatchStrategy};
+use crate::egraph::{self, SaturationLimits, SaturationStats};
 use crate::graph::SharedGraph;
 use crate::rules::{apply_rules, RewriteCounts, RuleBudgets, RuleSet};
 use gated_ssa::{GateError, GatedFunction, Interning};
@@ -60,6 +61,51 @@ impl Default for Limits {
     }
 }
 
+/// Which normalization engine decides equivalence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Normalizer {
+    /// The paper's engine: destructive ordered rewriting — one winning rule
+    /// per node per round, the rewritten structure replaces the redex.
+    #[default]
+    Destructive,
+    /// Equality saturation ([`crate::egraph`]): the same rules applied
+    /// non-destructively until fixpoint or budget, immune to application
+    /// order.
+    Saturate,
+    /// Destructive first (keeping the hot path's speed); if it ends in a
+    /// `RootsDiffer` fixpoint, keep the graph — every recorded equality is
+    /// sound — and saturate from there.
+    SaturateFallback,
+}
+
+impl Normalizer {
+    /// Stable lowercase name, used by the CLI flag, the env override, and
+    /// the wire format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Normalizer::Destructive => "destructive",
+            Normalizer::Saturate => "saturate",
+            Normalizer::SaturateFallback => "saturate-fallback",
+        }
+    }
+
+    /// Inverse of [`Normalizer::as_str`].
+    pub fn parse(s: &str) -> Option<Normalizer> {
+        match s {
+            "destructive" => Some(Normalizer::Destructive),
+            "saturate" => Some(Normalizer::Saturate),
+            "saturate-fallback" => Some(Normalizer::SaturateFallback),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Normalizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A configured validator.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Validator {
@@ -74,6 +120,11 @@ pub struct Validator {
     /// differential-testing oracle — both produce identical verdicts and
     /// statistics).
     pub interning: Interning,
+    /// Which normalization engine decides equivalence.
+    pub normalizer: Normalizer,
+    /// Budgets for the saturation engine (unused under
+    /// [`Normalizer::Destructive`]).
+    pub saturation: SaturationLimits,
 }
 
 /// Why validation failed (any of these counts as an *alarm*; assuming the
@@ -140,8 +191,14 @@ pub struct ValidationStats {
     /// On [`FailReason::RootsDiffer`]: the first pair of normalized roots
     /// that stayed distinct (return roots if they differ, else the
     /// observable-memory roots). `None` on success and on budget/gate
-    /// failures, where no normalized fixpoint exists to render.
+    /// failures, where no normalized fixpoint exists to render. Populated
+    /// by the destructive *and* the saturation engine.
     pub divergent_roots: Option<DivergentRoots>,
+    /// What the saturation engine did, when it ran (`None` under
+    /// [`Normalizer::Destructive`], and under
+    /// [`Normalizer::SaturateFallback`] when the destructive pass already
+    /// decided the query).
+    pub saturation: Option<SaturationStats>,
 }
 
 /// The outcome of one validation query.
@@ -284,43 +341,75 @@ impl Validator {
                 && ret_o.is_none_or(|r| g.same(r, ret_t.expect("both sides return")))
         };
 
-        let mut validated = false;
-        loop {
-            g.rebuild();
-            stats.rounds += 1;
-            if equal(&g) {
-                validated = true;
-                break;
-            }
-            if stats.rounds >= self.limits.max_rounds
-                || g.len() >= self.limits.max_nodes
-                || deadline.expired()
-            {
-                stats.nodes_final = g.live_count(&roots);
-                stats.duration = deadline.elapsed();
-                return Verdict::fail(FailReason::Budget, stats);
-            }
-            let n = apply_rules(&mut g, &roots, &self.rules, &mut stats.rewrites, &mut budgets);
-            if n == 0 {
-                g.rebuild();
-                if equal(&g) {
-                    validated = true;
-                    break;
-                }
-                let merged = match_cycles(&mut g, &roots, self.strategy);
-                stats.cycle_merges += merged;
-                if merged == 0 {
-                    break;
-                }
-            }
+        enum End {
+            Proved,
+            Budget,
+            Fixpoint,
         }
+
+        let destructive =
+            |g: &mut SharedGraph, stats: &mut ValidationStats, budgets: &mut RuleBudgets| -> End {
+                loop {
+                    g.rebuild();
+                    stats.rounds += 1;
+                    if equal(g) {
+                        return End::Proved;
+                    }
+                    if stats.rounds >= self.limits.max_rounds
+                        || g.len() >= self.limits.max_nodes
+                        || deadline.expired()
+                    {
+                        return End::Budget;
+                    }
+                    let n = apply_rules(g, &roots, &self.rules, &mut stats.rewrites, budgets);
+                    if n == 0 {
+                        g.rebuild();
+                        if equal(g) {
+                            return End::Proved;
+                        }
+                        let merged = match_cycles(g, &roots, self.strategy);
+                        stats.cycle_merges += merged;
+                        if merged == 0 {
+                            return End::Fixpoint;
+                        }
+                    }
+                }
+            };
+        let saturate = |g: &mut SharedGraph,
+                        stats: &mut ValidationStats,
+                        budgets: &mut RuleBudgets|
+         -> egraph::Outcome {
+            egraph::saturate(g, &roots, &equal, self, deadline, stats, budgets)
+        };
+
+        let end = match self.normalizer {
+            Normalizer::Destructive => destructive(&mut g, &mut stats, &mut budgets),
+            Normalizer::Saturate => match saturate(&mut g, &mut stats, &mut budgets) {
+                egraph::Outcome::Proved => End::Proved,
+                egraph::Outcome::Saturated => End::Fixpoint,
+                egraph::Outcome::Capped => End::Budget,
+            },
+            Normalizer::SaturateFallback => match destructive(&mut g, &mut stats, &mut budgets) {
+                End::Fixpoint => match saturate(&mut g, &mut stats, &mut budgets) {
+                    egraph::Outcome::Proved => End::Proved,
+                    // The destructive pass already reached a fixpoint with
+                    // divergent roots; a capped saturation retry must not
+                    // upgrade that `RootsDiffer` alarm to `Budget`.
+                    egraph::Outcome::Saturated | egraph::Outcome::Capped => End::Fixpoint,
+                },
+                other => other,
+            },
+        };
+
         stats.nodes_final = g.live_count(&roots);
         stats.duration = deadline.elapsed();
-        if validated {
-            Verdict { validated: true, reason: None, stats }
-        } else {
-            stats.divergent_roots = first_divergent_roots(&g, ret_o, ret_t, mem_o, mem_t);
-            Verdict::fail(FailReason::RootsDiffer, stats)
+        match end {
+            End::Proved => Verdict { validated: true, reason: None, stats },
+            End::Budget => Verdict::fail(FailReason::Budget, stats),
+            End::Fixpoint => {
+                stats.divergent_roots = first_divergent_roots(&g, ret_o, ret_t, mem_o, mem_t);
+                Verdict::fail(FailReason::RootsDiffer, stats)
+            }
         }
     }
 }

@@ -34,9 +34,10 @@
 //!   as JSON numbers.
 
 use crate::cache::CacheStats;
+use crate::egraph::SaturationStats;
 use crate::rules::RewriteCounts;
 use crate::triage::{Triage, TriageClass, TriagedVerdict, VerdictClass, Witness};
-use crate::validate::{DivergentRoots, FailReason, ValidationStats, Verdict};
+use crate::validate::{DivergentRoots, FailReason, Normalizer, ValidationStats, Verdict};
 use gated_ssa::GateError;
 use lir::interp::{Outcome, Trap};
 use std::fmt;
@@ -743,6 +744,41 @@ impl FromWire for DivergentRoots {
     }
 }
 
+impl ToWire for SaturationStats {
+    fn to_wire(&self) -> Json {
+        Json::obj([
+            ("iterations", Json::num(self.iterations as f64)),
+            ("e_classes", Json::num(self.e_classes as f64)),
+            ("e_nodes", Json::num(self.e_nodes as f64)),
+            ("saturated", Json::Bool(self.saturated)),
+        ])
+    }
+}
+
+impl FromWire for SaturationStats {
+    fn from_wire(v: &Json) -> Result<Self, WireError> {
+        Ok(SaturationStats {
+            iterations: v.usize_field("iterations")?,
+            e_classes: v.usize_field("e_classes")?,
+            e_nodes: v.usize_field("e_nodes")?,
+            saturated: v.bool_field("saturated")?,
+        })
+    }
+}
+
+impl ToWire for Normalizer {
+    fn to_wire(&self) -> Json {
+        Json::str(self.as_str())
+    }
+}
+
+impl FromWire for Normalizer {
+    fn from_wire(v: &Json) -> Result<Self, WireError> {
+        let s = v.as_str().ok_or_else(|| WireError::schema("normalizer must be a string"))?;
+        Normalizer::parse(s).ok_or_else(|| WireError::schema(format!("unknown normalizer `{s}`")))
+    }
+}
+
 impl ToWire for ValidationStats {
     fn to_wire(&self) -> Json {
         Json::obj([
@@ -753,6 +789,7 @@ impl ToWire for ValidationStats {
             ("cycle_merges", Json::num(self.cycle_merges as f64)),
             ("duration_ns", duration_ns(self.duration)),
             ("divergent_roots", self.divergent_roots.to_wire()),
+            ("saturation", self.saturation.to_wire()),
         ])
     }
 }
@@ -770,6 +807,9 @@ impl FromWire for ValidationStats {
                 .opt_field("divergent_roots")
                 .map(DivergentRoots::from_wire)
                 .transpose()?,
+            // Absent on pre-saturation lines: decodes as "the saturation
+            // engine did not run", keeping old stores replayable.
+            saturation: v.opt_field("saturation").map(SaturationStats::from_wire).transpose()?,
         })
     }
 }
@@ -1175,6 +1215,12 @@ mod tests {
                 divergent_roots: Some(DivergentRoots {
                     original: "(add x 1)".to_owned(),
                     optimized: "(add x 2)".to_owned(),
+                }),
+                saturation: Some(SaturationStats {
+                    iterations: 5,
+                    e_classes: 40,
+                    e_nodes: 61,
+                    saturated: true,
                 }),
             },
         };

@@ -97,7 +97,7 @@ pub use store::{StoreStats, VerdictStore, SHARDS};
 use lir::func::{Function, Module};
 use lir_opt::PassManager;
 use llvm_md_core::triage::{triage_alarm, Triage, TriageClass, TriageOptions};
-use llvm_md_core::{FailReason, RewriteCounts, Validator, Verdict};
+use llvm_md_core::{FailReason, Normalizer, RewriteCounts, SaturationStats, Validator, Verdict};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
@@ -126,6 +126,9 @@ pub struct FunctionRecord {
     pub rewrites: RewriteCounts,
     /// Normalization rounds.
     pub rounds: usize,
+    /// What the saturation engine did, when it ran (`None` under the
+    /// destructive normalizer and when the fallback never engaged).
+    pub saturation: Option<SaturationStats>,
     /// Alarm triage, when the engine ran a triaged entry point and this
     /// record is a *paired* alarm (pairing alarms — missing/extra functions
     /// — have no pair to interpret differentially and stay `None`).
@@ -147,6 +150,7 @@ impl FunctionRecord {
             && self.reason == other.reason
             && self.rewrites == other.rewrites
             && self.rounds == other.rounds
+            && self.saturation == other.saturation
             && self.triage == other.triage
     }
 }
@@ -263,6 +267,20 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
+/// The default normalizer mode: the `LLVM_MD_NORMALIZER` environment
+/// variable (`destructive`, `saturate`, or `saturate-fallback`) when set
+/// to a recognized mode, else [`Normalizer::default`] (destructive).
+///
+/// Like [`default_workers`], the env override lets CI smokes and
+/// re-baselining runs flip every entry point that builds its `Validator`
+/// from defaults without code edits; an unrecognized value is ignored.
+pub fn default_normalizer() -> Normalizer {
+    std::env::var("LLVM_MD_NORMALIZER")
+        .ok()
+        .and_then(|v| Normalizer::parse(v.trim()))
+        .unwrap_or_default()
+}
+
 /// What the pool returns per job: the verdict plus, on triaged entry
 /// points, the triage of the alarm (always `None` for validated pairs).
 pub(crate) type TriagedOutcome = (Verdict, Option<Triage>);
@@ -296,6 +314,7 @@ fn blank_record(name: &str, insts_before: usize, insts_after: usize) -> Function
         duration: Duration::ZERO,
         rewrites: RewriteCounts::default(),
         rounds: 0,
+        saturation: None,
         triage: None,
     }
 }
@@ -477,6 +496,7 @@ impl ValidationEngine {
             rec.duration = v.stats.duration;
             rec.rewrites = v.stats.rewrites;
             rec.rounds = v.stats.rounds;
+            rec.saturation = v.stats.saturation;
             rec.triage = triage;
             total += v.stats.duration;
             if !rec.validated {

@@ -34,6 +34,14 @@
 //! testable contract (`batch-begin`/`batch-end` carry the per-request
 //! bookkeeping instead). Pairing alarms (missing/extra functions) have no
 //! fingerprint pair; their lines are rebuilt per batch, deterministically.
+//!
+//! Verdicts are only comparable across runs that used the same rewrite
+//! engine, so every line is stamped with the server's [`Normalizer`] mode
+//! and [`RULE_ENGINE_VERSION`]. A stored line whose stamp disagrees with
+//! the serving configuration is *not* replayed — the pair re-validates and
+//! the store entry is overwritten under the current stamp. Lines written
+//! before the stamp existed decode as `destructive` at engine version 1,
+//! so an unchanged destructive server keeps replaying its old store.
 
 use crate::store::{StoreStats, VerdictStore, SHARDS};
 use crate::{pair_functions_by, PairJob, Pairing, ValidationEngine};
@@ -42,7 +50,9 @@ use lir::parse::parse_module;
 use llvm_md_core::cache::fingerprint;
 use llvm_md_core::triage::{triage_alarm, TriageOptions, TriagedVerdict};
 use llvm_md_core::wire::{self, u64_hex, Json, ToWire};
-use llvm_md_core::{FailReason, ValidationStats, Validator, Verdict, VerdictClass};
+use llvm_md_core::{
+    FailReason, Normalizer, ValidationStats, Validator, Verdict, VerdictClass, RULE_ENGINE_VERSION,
+};
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -247,7 +257,7 @@ impl Server {
                     triage: None,
                 };
                 slots[slot] = Some(SlotOutcome {
-                    line: verdict_line(&rec.name, fps.0, fps.1, &tv),
+                    line: self.verdict_line(&rec.name, fps.0, fps.1, &tv),
                     validated: false,
                     from_store: false,
                 });
@@ -260,7 +270,9 @@ impl Server {
         for job in &jobs {
             let key = (fps_in[job.in_idx], fps_out[job.out_idx]);
             let name = &records[job.slot].name;
-            if let Some(line) = self.store.get(key) {
+            if let Some(line) =
+                self.store.get(key).filter(|l| line_matches_engine(l, self.validator.normalizer))
+            {
                 let validated = line_says_validated(&line);
                 slots[job.slot] = Some(SlotOutcome { line, validated, from_store: true });
             } else if key.0 == key.1 {
@@ -272,7 +284,7 @@ impl Server {
                     },
                     triage: None,
                 };
-                let line = verdict_line(name, Some(key.0), Some(key.1), &tv);
+                let line = self.verdict_line(name, Some(key.0), Some(key.1), &tv);
                 let _ = self.store.put(key, &line);
                 slots[job.slot] = Some(SlotOutcome { line, validated: true, from_store: false });
             } else {
@@ -296,7 +308,7 @@ impl Server {
         for (job, tv) in pending.iter().zip(outcomes) {
             let key = (fps_in[job.in_idx], fps_out[job.out_idx]);
             let validated = tv.verdict.validated;
-            let line = verdict_line(&records[job.slot].name, Some(key.0), Some(key.1), &tv);
+            let line = self.verdict_line(&records[job.slot].name, Some(key.0), Some(key.1), &tv);
             let _ = self.store.put(key, &line);
             slots[job.slot] = Some(SlotOutcome { line, validated, from_store: false });
         }
@@ -340,6 +352,36 @@ impl Server {
         Ok(())
     }
 
+    /// One wire verdict line. Carries **no request id** and no wall-clock
+    /// bookkeeping: its bytes are a pure function of (function name,
+    /// fingerprint pair, triaged verdict) plus the server's fixed engine
+    /// configuration, which is what makes stored replays byte-identical
+    /// across batches. The `normalizer`/`rule_engine` stamp identifies the
+    /// rewrite engine the verdict was computed under, so a store shared
+    /// across configurations never replays a verdict from a different one.
+    fn verdict_line(
+        &self,
+        function: &str,
+        orig_fp: Option<u64>,
+        opt_fp: Option<u64>,
+        tv: &TriagedVerdict,
+    ) -> String {
+        let fp = |f: Option<u64>| f.map(u64_hex).unwrap_or(Json::Null);
+        wire::envelope(
+            "verdict",
+            [
+                ("function", Json::str(function)),
+                ("orig_fp", fp(orig_fp)),
+                ("opt_fp", fp(opt_fp)),
+                ("normalizer", self.validator.normalizer.to_wire()),
+                ("rule_engine", Json::num(RULE_ENGINE_VERSION as f64)),
+                ("class", tv.class().to_wire()),
+                ("verdict", tv.to_wire()),
+            ],
+        )
+        .to_string()
+    }
+
     fn stats_line(&self, id: &str) -> String {
         let s: StoreStats = self.store.stats();
         let c = self.counters();
@@ -348,6 +390,8 @@ impl Server {
             [
                 ("id", Json::str(id)),
                 ("workers", Json::num(self.engine.workers() as f64)),
+                ("normalizer", self.validator.normalizer.to_wire()),
+                ("rule_engine", Json::num(RULE_ENGINE_VERSION as f64)),
                 ("batches", Json::num(c.batches as f64)),
                 ("functions", Json::num(c.functions as f64)),
                 ("validations_run", Json::num(c.validations_run as f64)),
@@ -436,28 +480,29 @@ fn fingerprint_by_name(m: &Module, name: &str) -> u64 {
         .expect("pairing produced this record from this module")
 }
 
-/// One wire verdict line. Carries **no request id** and no wall-clock
-/// bookkeeping: its bytes are a pure function of (function name,
-/// fingerprint pair, triaged verdict), which is what makes stored replays
-/// byte-identical across batches.
-fn verdict_line(
-    function: &str,
-    orig_fp: Option<u64>,
-    opt_fp: Option<u64>,
-    tv: &TriagedVerdict,
-) -> String {
-    let fp = |f: Option<u64>| f.map(u64_hex).unwrap_or(Json::Null);
-    wire::envelope(
-        "verdict",
-        [
-            ("function", Json::str(function)),
-            ("orig_fp", fp(orig_fp)),
-            ("opt_fp", fp(opt_fp)),
-            ("class", tv.class().to_wire()),
-            ("verdict", tv.to_wire()),
-        ],
-    )
-    .to_string()
+/// Whether a stored verdict line was computed by the same rewrite engine a
+/// server running `normalizer` at [`RULE_ENGINE_VERSION`] would use now. A
+/// line without the stamp predates it and decodes as `destructive` at
+/// engine version 1 — the only configuration that existed then. Mismatches
+/// (and hypothetical corrupt lines) are treated as store misses, never
+/// replayed.
+fn line_matches_engine(line: &str, normalizer: Normalizer) -> bool {
+    let Ok(doc) = wire::parse(line) else { return false };
+    let line_norm = match doc.get("normalizer") {
+        None => Normalizer::Destructive,
+        Some(v) => match v.as_str().and_then(Normalizer::parse) {
+            Some(n) => n,
+            None => return false,
+        },
+    };
+    let line_engine = match doc.get("rule_engine") {
+        None => 1,
+        Some(v) => match v.as_f64() {
+            Some(n) => n as u64,
+            None => return false,
+        },
+    };
+    line_norm == normalizer && line_engine == RULE_ENGINE_VERSION
 }
 
 /// Whether a stored verdict line's class says "validated" (stored lines

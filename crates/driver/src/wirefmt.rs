@@ -17,7 +17,7 @@ use crate::{FunctionRecord, Report};
 use lir::parse::parse_module;
 use llvm_md_core::triage::Triage;
 use llvm_md_core::wire::{duration_ns, parse_duration, u64_hex, FromWire, Json, ToWire, WireError};
-use llvm_md_core::{CacheStats, FailReason};
+use llvm_md_core::{CacheStats, FailReason, SaturationStats};
 use llvm_md_workload::reduce::ReduceStats;
 
 impl ToWire for FunctionRecord {
@@ -32,6 +32,7 @@ impl ToWire for FunctionRecord {
             ("duration_ns", duration_ns(self.duration)),
             ("rewrites", self.rewrites.to_wire()),
             ("rounds", Json::num(self.rounds as f64)),
+            ("saturation", self.saturation.to_wire()),
             ("triage", self.triage.to_wire()),
         ])
     }
@@ -49,6 +50,7 @@ impl FromWire for FunctionRecord {
             duration: parse_duration(v.field("duration_ns")?)?,
             rewrites: FromWire::from_wire(v.field("rewrites")?)?,
             rounds: v.usize_field("rounds")?,
+            saturation: v.opt_field("saturation").map(SaturationStats::from_wire).transpose()?,
             triage: v.opt_field("triage").map(Triage::from_wire).transpose()?,
         })
     }

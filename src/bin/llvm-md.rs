@@ -19,16 +19,20 @@
 //!   the protocol.
 //!
 //! Shared options: `--workers N` (default: `LLVM_MD_WORKERS` or all
-//! cores), `--triage` (classify every alarm by differential
-//! interpretation), `--battery N` (triage battery size). Serve options:
-//! `--store DIR` (persistent store directory; in-memory when omitted),
-//! `--cap N` (store entry cap).
+//! cores), `--normalizer MODE` (`destructive`, `saturate`, or
+//! `saturate-fallback`; default: `LLVM_MD_NORMALIZER` or `destructive`),
+//! `--triage` (classify every alarm by differential interpretation),
+//! `--battery N` (triage battery size). Serve options: `--store DIR`
+//! (persistent store directory; in-memory when omitted), `--cap N` (store
+//! entry cap).
 
 use llvm_md::core::wire::{self, Json, ToWire};
 use llvm_md::core::{TriageOptions, Validator};
 use llvm_md::driver::serve::Server;
 use llvm_md::driver::store::{VerdictStore, DEFAULT_CAPACITY};
-use llvm_md::driver::{campaign_pass_manager, ChainValidator, ValidationEngine};
+use llvm_md::driver::{
+    campaign_pass_manager, default_normalizer, ChainValidator, ValidationEngine,
+};
 use llvm_md::lir::func::Module;
 use llvm_md::lir::parse::parse_module;
 use llvm_md::workload::PAPER_PASSES;
@@ -36,7 +40,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  llvm-md validate <original.ll> <optimized.ll> [--triage] [--battery N] [--workers N]\n  llvm-md chain <input.ll> [--passes p1,p2,...] [--triage] [--battery N] [--workers N]\n  llvm-md serve [--stdin | --socket PATH] [--store DIR] [--cap N] [--triage] [--battery N] [--workers N]"
+        "usage:\n  llvm-md validate <original.ll> <optimized.ll> [--normalizer MODE] [--triage] [--battery N] [--workers N]\n  llvm-md chain <input.ll> [--passes p1,p2,...] [--normalizer MODE] [--triage] [--battery N] [--workers N]\n  llvm-md serve [--stdin | --socket PATH] [--store DIR] [--cap N] [--normalizer MODE] [--triage] [--battery N] [--workers N]\n  (MODE: destructive | saturate | saturate-fallback)"
     );
     std::process::exit(2);
 }
@@ -78,6 +82,11 @@ fn common_options(args: &mut Vec<String>) -> Common {
         .map(|v| v.parse::<usize>().unwrap_or_else(|_| fail(&format!("bad --workers `{v}`"))));
     let battery = take_value(args, "--battery")
         .map(|v| v.parse::<usize>().unwrap_or_else(|_| fail(&format!("bad --battery `{v}`"))));
+    let normalizer = match take_value(args, "--normalizer") {
+        Some(v) => llvm_md::core::Normalizer::parse(&v)
+            .unwrap_or_else(|| fail(&format!("bad --normalizer `{v}`"))),
+        None => default_normalizer(),
+    };
     let triage = take_flag(args, "--triage");
     let engine = match workers {
         Some(n) => ValidationEngine::with_workers(n),
@@ -87,7 +96,7 @@ fn common_options(args: &mut Vec<String>) -> Common {
         battery: battery.unwrap_or(TriageOptions::default().battery),
         ..TriageOptions::default()
     });
-    Common { engine, validator: Validator::new(), triage }
+    Common { engine, validator: Validator { normalizer, ..Validator::new() }, triage }
 }
 
 fn load_module(path: &str) -> Module {

@@ -7,7 +7,8 @@
 //! holds across a daemon restart when the store is on disk.
 
 use llvm_md::core::wire::{self, Json};
-use llvm_md::core::Validator;
+use llvm_md::core::{Normalizer, Validator, RULE_ENGINE_VERSION};
+use llvm_md::driver::store::line_key;
 use llvm_md::driver::{ServeEnd, Server, ValidationEngine, VerdictStore};
 use llvm_md::opt::paper_pipeline;
 use llvm_md::workload::generate_suite;
@@ -132,6 +133,113 @@ fn store_hits_survive_a_daemon_restart() {
     let verdicts: Vec<String> =
         lines_of_type(&lines, "verdict").iter().map(|v| v.to_string()).collect();
     assert_eq!(verdicts, first_verdicts, "disk-replayed verdicts must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stored verdict only replays for a server running the same rewrite
+/// engine: lines are stamped with the normalizer mode and rule-engine
+/// version, a mismatch is a store miss, and the recomputed verdict
+/// overwrites the entry under the current stamp.
+#[test]
+fn store_replay_requires_a_matching_engine_stamp() {
+    let dir = tmpdir("stamp");
+    let (original, optimized) = suite_pair(0);
+    let batch = validate_request("b", &original, &optimized);
+    let script = format!("{}{}", batch, control_request("shutdown", "x"));
+
+    // Warm the store under the default destructive engine.
+    let functions = {
+        let server = new_server(VerdictStore::open(&dir, 1 << 16).unwrap());
+        let (_, lines) = run_script(&server, &script);
+        field_u64(lines_of_type(&lines, "batch-end")[0], "functions")
+    };
+    assert!(functions > 0);
+
+    // A saturation-fallback server over the same store: every stored line
+    // is stamped `destructive`, so nothing replays — every pair is
+    // recomputed and restamped.
+    let sat = Validator { normalizer: Normalizer::SaturateFallback, ..Validator::new() };
+    let server = Server::new(
+        ValidationEngine::with_workers(2),
+        sat,
+        None,
+        VerdictStore::open(&dir, 1 << 16).unwrap(),
+    );
+    let (_, lines) = run_script(&server, &script);
+    let end = lines_of_type(&lines, "batch-end")[0];
+    assert_eq!(field_u64(end, "store_hits"), 0, "destructive verdicts must not answer saturation");
+    for v in lines_of_type(&lines, "verdict") {
+        assert_eq!(v.str_field("normalizer").unwrap(), "saturate-fallback");
+        assert_eq!(field_u64(v, "rule_engine"), RULE_ENGINE_VERSION);
+    }
+
+    // The same configuration again: the restamped lines now replay fully.
+    let server = Server::new(
+        ValidationEngine::with_workers(2),
+        sat,
+        None,
+        VerdictStore::open(&dir, 1 << 16).unwrap(),
+    );
+    let (_, lines) = run_script(&server, &script);
+    let end = lines_of_type(&lines, "batch-end")[0];
+    assert_eq!(field_u64(end, "store_hits"), functions);
+    assert_eq!(field_u64(end, "validations_run"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Lines written before the engine stamp existed decode as `destructive`
+/// at rule-engine version 1: a destructive server keeps replaying them
+/// byte-for-byte, a saturating server does not.
+#[test]
+fn untagged_legacy_lines_replay_only_under_the_destructive_engine() {
+    let dir = tmpdir("legacy");
+    let (original, optimized) = suite_pair(1);
+    let batch = validate_request("b", &original, &optimized);
+    let script = format!("{}{}", batch, control_request("shutdown", "x"));
+
+    // Produce stamped lines, then overwrite each store entry with the
+    // stamp fields stripped — the exact bytes a pre-stamp daemon wrote.
+    let legacy: Vec<String> = {
+        let server = new_server(VerdictStore::open(&dir, 1 << 16).unwrap());
+        let (_, lines) = run_script(&server, &script);
+        lines_of_type(&lines, "verdict")
+            .iter()
+            .map(|v| {
+                let Json::Obj(fields) = (*v).clone() else { panic!("verdict must be an object") };
+                let stripped = Json::Obj(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| k != "normalizer" && k != "rule_engine")
+                        .collect(),
+                );
+                let key = line_key(&stripped).expect("verdicts carry a fingerprint pair");
+                let line = stripped.to_string();
+                server.store().put(key, &line).unwrap();
+                line
+            })
+            .collect()
+    };
+    assert!(!legacy.is_empty());
+
+    // A destructive server replays the legacy bytes verbatim.
+    let server = new_server(VerdictStore::open(&dir, 1 << 16).unwrap());
+    let (_, lines) = run_script(&server, &script);
+    let end = lines_of_type(&lines, "batch-end")[0];
+    assert_eq!(field_u64(end, "store_hits") as usize, legacy.len());
+    let replayed: Vec<String> =
+        lines_of_type(&lines, "verdict").iter().map(|v| v.to_string()).collect();
+    assert_eq!(replayed, legacy, "legacy lines must replay byte-identically");
+
+    // A saturating server treats every legacy line as a miss.
+    let sat = Validator { normalizer: Normalizer::Saturate, ..Validator::new() };
+    let server = Server::new(
+        ValidationEngine::with_workers(2),
+        sat,
+        None,
+        VerdictStore::open(&dir, 1 << 16).unwrap(),
+    );
+    let (_, lines) = run_script(&server, &script);
+    assert_eq!(field_u64(lines_of_type(&lines, "batch-end")[0], "store_hits"), 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
