@@ -7,6 +7,7 @@
 #   BENCH_triage.json   alarm-triage rates per rule-set ablation
 #   BENCH_chain.json    end-to-end vs per-pass chained validation + blame
 #   BENCH_fuzz.json     differential fuzz campaign: per-profile rates, 0 findings
+#   BENCH_sat.json      tier-2 SAT on surviving alarms: upgrades + solver stats
 #
 # Future PRs compare their numbers against the committed artifacts, so the
 # perf trajectory of the validator is mechanical to follow. Extra arguments
@@ -41,4 +42,9 @@ echo "==> fuzz campaign (BENCH_fuzz.json)"
 # reproduce the artifact exactly (extra args like --scale are ignored).
 cargo run --release --offline -q -p llvm_md_bench --bin fuzz_campaign
 
-echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json BENCH_triage.json BENCH_chain.json BENCH_fuzz.json)"
+echo "==> tier-2 SAT (BENCH_sat.json)"
+# Pinned at the artifact's own default scale 4: the provable surviving
+# alarm is not present in smaller suites (extra args are not forwarded).
+cargo run --release --offline -q -p llvm_md_bench --bin table4_sat
+
+echo "wrote: $(ls BENCH_fig4.json BENCH_micro.json BENCH_scaling.json BENCH_triage.json BENCH_chain.json BENCH_fuzz.json BENCH_sat.json)"

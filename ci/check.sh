@@ -105,6 +105,31 @@ print(f"chain smoke OK: rate {data['chain_rate']:.3f} vs e2e {data['end_to_end_r
       f"{data['injected_blamed_correctly']}/{data['injected_bugs']} bugs blamed correctly")
 EOF
 
+  echo "==> tier-2 SAT smoke (>=1 surviving alarm proved equivalent, 0 soundness inversions)"
+  # table4_sat already asserts the two gate invariants internally (and exits
+  # nonzero on failure); the artifact check re-verifies them and pins the
+  # expected shape. Runs at the artifact's own default scale 4: the
+  # provable surviving alarm is not in the 1/16 suite, and the headline
+  # UNSAT proof costs tens of thousands of conflicts — release only.
+  sat_dir="$(mktemp -d)"
+  BENCH_OUT_DIR="$sat_dir" cargo run --release --offline -q -p llvm_md_bench \
+    --bin table4_sat -- --scale 4 --battery 8 > /dev/null
+  python3 - "$sat_dir/BENCH_sat.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data["headline_proved"] >= 1, \
+    "tier 2 failed to upgrade any surviving sat-fallback alarm to proved-equivalent"
+assert data["soundness_inversions"] == 0, \
+    f"tier 2 proved an injected miscompile equivalent: {data['configs']}"
+for row in data["configs"]:
+    assert row["injected_caught"] == row["injected_bugs"] > 0, \
+        f"tiered cascade missed a miscompile under {row['rules']!r}: {row}"
+    assert row["suite_escalated"] == 0, \
+        f"suite pair escalated to miscompile under {row['rules']!r}"
+print(f"tier-2 smoke OK: {data['headline_proved']} surviving alarm(s) proved equivalent, "
+      f"0 inversions across {len(data['configs'])} configs")
+EOF
+
   echo "==> fuzz smoke (fixed seed: clean pipeline finds nothing, injected bug is caught + reduced + replayed)"
   # Small-budget differential fuzz campaign at the committed default seed.
   # Run 1 — unmodified pipeline: nonzero modules across >= 5 profiles, zero

@@ -50,24 +50,28 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod bitblast;
 pub mod cache;
 pub mod cycles;
 pub mod egraph;
 pub mod graph;
 pub mod rules;
+pub mod sat;
 pub mod triage;
 pub mod validate;
 pub mod wire;
 
+pub use bitblast::{blast_ret_pair, BlastReport, BlastResult};
 pub use cache::{fingerprint, fingerprint_canonical, module_fingerprints, CacheStats, GraphCache};
 pub use cycles::MatchStrategy;
 pub use egraph::{SaturationLimits, SaturationStats};
 pub use gated_ssa::Interning;
 pub use graph::SharedGraph;
 pub use rules::{RewriteCounts, RuleBudgets, RuleSet, RULE_ENGINE_VERSION};
+pub use sat::{SatOptions, SatOutcome, SatSkip, SatStats, SolverStats};
 pub use triage::{Triage, TriageClass, TriageOptions, TriagedVerdict, VerdictClass, Witness};
 pub use validate::{
-    validate, Deadline, DivergentRoots, FailReason, Limits, Normalizer, ValidationStats, Validator,
-    Verdict,
+    validate, Deadline, DivergentRoots, FailReason, Fixpoint, Limits, Normalizer, ValidationStats,
+    Validator, Verdict,
 };
 pub use wire::{FromWire, Json, ToWire, WireError, SCHEMA_VERSION};

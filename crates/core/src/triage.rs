@@ -64,12 +64,15 @@
 //! # Ok::<(), lir::parse::ParseError>(())
 //! ```
 
+use crate::bitblast::{blast_ret_pair, BlastResult};
 use crate::rules::RewriteCounts;
-use crate::validate::{DivergentRoots, Validator, Verdict};
+use crate::sat::{SatOptions, SatOutcome, SatSkip, SatStats};
+use crate::validate::{Deadline, DivergentRoots, Fixpoint, Validator, Verdict};
 use lir::func::{Function, Module};
 use lir::interp::{run, ExecConfig, Outcome, Trap};
 use lir::types::Ty;
 use llvm_md_workload::rng::SplitMix64;
+use std::time::Instant;
 
 /// How an alarm was classified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -161,6 +164,20 @@ pub struct Triage {
     /// Battery inputs skipped because the original trapped or either side
     /// exhausted interpreter resources.
     pub inputs_skipped: usize,
+    /// What the tier-2 bit-precise query did, when a tiered entry point ran
+    /// (`None` on plain triaged runs). A [`SatOutcome::Proved`] outcome
+    /// upgrades the pair to [`VerdictClass::ProvedEquivalent`]; a
+    /// [`SatOutcome::Refuted`] outcome has already escalated `class` to
+    /// [`TriageClass::RealMiscompile`] and filled `witness`.
+    pub sat: Option<SatStats>,
+}
+
+impl Triage {
+    /// True when the tier-2 query proved the pair bit-precisely equivalent
+    /// (UNSAT) — the alarm was a false alarm, certified.
+    pub fn sat_proved(&self) -> bool {
+        self.sat.and_then(|s| s.outcome) == Some(SatOutcome::Proved)
+    }
 }
 
 /// A [`Verdict`] plus, for alarms, its triage classification.
@@ -182,11 +199,13 @@ impl TriagedVerdict {
     /// oracles compare. An alarm that was never triaged (triage disabled,
     /// as in an untriaged `llvm-md serve`) classifies conservatively as
     /// [`VerdictClass::SuspectedIncomplete`] — only interpreter evidence
-    /// may escalate to [`VerdictClass::RealMiscompile`].
+    /// may escalate to [`VerdictClass::RealMiscompile`], and only a tier-2
+    /// UNSAT proof may upgrade to [`VerdictClass::ProvedEquivalent`].
     pub fn class(&self) -> VerdictClass {
         match &self.triage {
             None if self.verdict.validated => VerdictClass::Validated,
             None => VerdictClass::SuspectedIncomplete,
+            Some(t) if t.sat_proved() => VerdictClass::ProvedEquivalent,
             Some(t) if t.class == TriageClass::RealMiscompile => VerdictClass::RealMiscompile,
             Some(_) => VerdictClass::SuspectedIncomplete,
         }
@@ -202,6 +221,11 @@ impl TriagedVerdict {
 pub enum VerdictClass {
     /// The validator proved the pair equivalent.
     Validated,
+    /// Tier-1 validation failed, but the tier-2 bit-precise query proved
+    /// the return roots equal on every input (UNSAT): a certified false
+    /// alarm — the transformation is correct, only the normalizer was
+    /// incomplete.
+    ProvedEquivalent,
     /// Validation failed but the triage battery found no divergence: a
     /// suspected validator incompleteness (the paper's false alarm).
     SuspectedIncomplete,
@@ -214,6 +238,7 @@ impl std::fmt::Display for VerdictClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerdictClass::Validated => f.write_str("validated"),
+            VerdictClass::ProvedEquivalent => f.write_str("proved-equivalent"),
             VerdictClass::SuspectedIncomplete => f.write_str("suspected-incomplete"),
             VerdictClass::RealMiscompile => f.write_str("real-miscompile"),
         }
@@ -226,6 +251,7 @@ impl std::str::FromStr for VerdictClass {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "validated" => Ok(VerdictClass::Validated),
+            "proved-equivalent" => Ok(VerdictClass::ProvedEquivalent),
             "suspected-incomplete" => Ok(VerdictClass::SuspectedIncomplete),
             "real-miscompile" => Ok(VerdictClass::RealMiscompile),
             other => Err(format!("unknown verdict class `{other}`")),
@@ -433,7 +459,87 @@ pub fn triage_alarm(
         divergent_roots: verdict.stats.divergent_roots.clone(),
         inputs_run,
         inputs_skipped,
+        sat: None,
     }
+}
+
+/// A [`SatStats`] that records why tier 2 never ran for this pair.
+fn sat_skip(reason: SatSkip) -> SatStats {
+    SatStats { outcome: Some(SatOutcome::Skipped(reason)), ..SatStats::default() }
+}
+
+/// Tier 2: refine a triaged alarm with the bit-precise SAT query (see
+/// [`blast_ret_pair`]). Fills `triage.sat` — always, so the record says
+/// *why* when the query never ran — and, on a replayed counterexample,
+/// escalates `triage.class` to [`TriageClass::RealMiscompile`] with the
+/// minimized witness.
+///
+/// Scope: the query only runs when the tier-1 fixpoint exists (the failure
+/// was `RootsDiffer`) and the observable-memory roots already merged in
+/// tier 1 — memory divergence can involve externally visible call traces
+/// the encoding does not model. An UNSAT answer is a sound equivalence
+/// proof ([`SatOutcome::Proved`]); a SAT model is only a *candidate*
+/// counterexample and must replay through the interpreter before anything
+/// escalates (a model may assign an over-approximated unknown — a loop
+/// residual, an external call result — a value no real execution produces).
+fn sat_refine(
+    env: &Module,
+    original: &Function,
+    optimized: &Function,
+    fix: Option<&Fixpoint>,
+    triage: &mut Triage,
+    topts: &TriageOptions,
+    sopts: &SatOptions,
+) {
+    if triage.class == TriageClass::RealMiscompile {
+        triage.sat = Some(sat_skip(SatSkip::Classified));
+        return;
+    }
+    let Some(fix) = fix else {
+        triage.sat = Some(sat_skip(SatSkip::Reason));
+        return;
+    };
+    if !fix.graph.same(fix.mem.0, fix.mem.1) {
+        triage.sat = Some(sat_skip(SatSkip::MemoryRoots));
+        return;
+    }
+    let t0 = Instant::now();
+    let params: Vec<Ty> = original.params.iter().map(|&(_, t)| t).collect();
+    let deadline = Deadline::starting_now(sopts.max_time);
+    let report = blast_ret_pair(env, fix, &params, sopts, &deadline);
+    let outcome = match report.result {
+        BlastResult::Proved => SatOutcome::Proved,
+        BlastResult::Capped => SatOutcome::Capped,
+        BlastResult::Unsupported => SatOutcome::Skipped(SatSkip::UnsupportedOp),
+        BlastResult::Model(args) => {
+            let (orig_env, opt_env) = build_envs(env, original, optimized);
+            let fname = original.name.as_str();
+            let cfg = ExecConfig { fuel: topts.fuel, max_depth: topts.max_depth };
+            match probe(&orig_env, &opt_env, fname, &args, &cfg) {
+                Probe::Diverge(..) => {
+                    let args =
+                        minimize(&orig_env, &opt_env, fname, args, &cfg, topts.shrink_budget);
+                    let Probe::Diverge(a, b) = probe(&orig_env, &opt_env, fname, &args, &cfg)
+                    else {
+                        unreachable!("minimize only keeps diverging inputs");
+                    };
+                    triage.class = TriageClass::RealMiscompile;
+                    triage.witness = Some(Witness { args, original: a, optimized: b });
+                    SatOutcome::Refuted
+                }
+                _ => SatOutcome::Inconclusive,
+            }
+        }
+    };
+    triage.sat = Some(SatStats {
+        outcome: Some(outcome),
+        vars: report.vars,
+        clauses: report.clauses,
+        unrolled: report.unrolled,
+        residuals: report.residuals,
+        solver: report.solver,
+        duration: t0.elapsed(),
+    });
 }
 
 impl Validator {
@@ -456,6 +562,85 @@ impl Validator {
         }
         let triage = triage_alarm(env, original, optimized, &verdict, opts);
         TriagedVerdict { verdict, triage: Some(triage) }
+    }
+
+    /// The full three-tier cascade in one call: tier-1 graph validation,
+    /// differential triage of the alarm, then the tier-2 bit-precise SAT
+    /// query on triaged `SuspectedIncomplete` pairs whose shape is in
+    /// scope. Tier 2 can move the verdict in both directions: UNSAT
+    /// upgrades the pair to [`VerdictClass::ProvedEquivalent`] (the
+    /// tier-1 `Verdict` is kept unchanged as the tier-1 record); a SAT
+    /// model that replays through the interpreter as a real divergence
+    /// escalates to [`TriageClass::RealMiscompile`] with a minimized
+    /// witness. Out-of-scope and budget-capped pairs keep the triage
+    /// classification, with the skip reason recorded in [`Triage::sat`].
+    ///
+    /// ```
+    /// use lir::parse::parse_module;
+    /// use llvm_md_core::sat::SatOptions;
+    /// use llvm_md_core::triage::{TriageOptions, VerdictClass};
+    /// use llvm_md_core::{RuleSet, Validator};
+    ///
+    /// // (a | b) + (a & b) == a + b: true bit-for-bit, but not a graph
+    /// // identity — a rule-less tier 1 alarms, tier 2 proves it.
+    /// let m = parse_module(
+    ///     "define i64 @f(i64 %a, i64 %b) {\nentry:\n  %o = or i64 %a, %b\n  %n = and i64 %a, %b\n  %r = add i64 %o, %n\n  ret i64 %r\n}\n",
+    /// )?;
+    /// let opt = parse_module(
+    ///     "define i64 @f(i64 %a, i64 %b) {\nentry:\n  %r = add i64 %a, %b\n  ret i64 %r\n}\n",
+    /// )?;
+    /// let strict = Validator { rules: RuleSet::none(), ..Validator::new() };
+    /// let tv = strict.validate_tiered(
+    ///     &m,
+    ///     &m.functions[0],
+    ///     &opt.functions[0],
+    ///     &TriageOptions::default(),
+    ///     &SatOptions::default(),
+    /// );
+    /// assert!(!tv.validated(), "tier 1 alone cannot prove this pair");
+    /// assert_eq!(tv.class(), VerdictClass::ProvedEquivalent);
+    /// # Ok::<(), lir::parse::ParseError>(())
+    /// ```
+    pub fn validate_tiered(
+        &self,
+        env: &Module,
+        original: &Function,
+        optimized: &Function,
+        topts: &TriageOptions,
+        sopts: &SatOptions,
+    ) -> TriagedVerdict {
+        let (verdict, fix) = self.validate_with_fixpoint(original, optimized);
+        if verdict.validated {
+            return TriagedVerdict { verdict, triage: None };
+        }
+        let mut triage = triage_alarm(env, original, optimized, &verdict, topts);
+        sat_refine(env, original, optimized, fix.as_ref(), &mut triage, topts, sopts);
+        TriagedVerdict { verdict, triage: Some(triage) }
+    }
+
+    /// Triage an already-failed `verdict` and refine it with the tier-2
+    /// query. For callers that validated through a cache (chain
+    /// validation) and hold only the verdict: the tier-1 fixpoint is
+    /// re-derived here, but only for alarms that are not already
+    /// classified as real miscompiles — the common, validated case never
+    /// pays for it.
+    pub fn triage_tiered(
+        &self,
+        env: &Module,
+        original: &Function,
+        optimized: &Function,
+        verdict: &Verdict,
+        topts: &TriageOptions,
+        sopts: &SatOptions,
+    ) -> Triage {
+        let mut triage = triage_alarm(env, original, optimized, verdict, topts);
+        if triage.class == TriageClass::RealMiscompile {
+            triage.sat = Some(sat_skip(SatSkip::Classified));
+            return triage;
+        }
+        let (_, fix) = self.validate_with_fixpoint(original, optimized);
+        sat_refine(env, original, optimized, fix.as_ref(), &mut triage, topts, sopts);
+        triage
     }
 
     /// Classify one function pair in one call: validate, triage on failure,

@@ -219,6 +219,22 @@ impl Verdict {
     }
 }
 
+/// The normalized fixpoint a [`FailReason::RootsDiffer`] verdict stopped
+/// at: the shared graph after every sound rewrite and cycle merge, plus the
+/// two sides' roots. Every equality recorded in the graph's union-find is
+/// proved, so downstream consumers (the tier-2 bit-blaster) may treat
+/// merged nodes as equal and only have to decide the roots that stayed
+/// distinct.
+#[derive(Debug)]
+pub struct Fixpoint {
+    /// The shared graph at the fixpoint.
+    pub graph: SharedGraph,
+    /// Return-value roots `(original, optimized)` (`None` for `void`).
+    pub ret: Option<(gated_ssa::NodeId, gated_ssa::NodeId)>,
+    /// Observable-memory roots `(original, optimized)`.
+    pub mem: (gated_ssa::NodeId, gated_ssa::NodeId),
+}
+
 /// Root terms longer than this are cut mid-render: the triage evidence
 /// needs the *shape* of the disagreement, not a megabyte of S-expression.
 const ROOT_DISPLAY_CAP: usize = 240;
@@ -264,34 +280,47 @@ impl Validator {
     /// [`Limits::max_time`], so expensive gating eats into the
     /// normalization budget instead of extending it.
     pub fn validate(&self, original: &Function, optimized: &Function) -> Verdict {
+        self.validate_with_fixpoint(original, optimized).0
+    }
+
+    /// Like [`Validator::validate`], but on a [`FailReason::RootsDiffer`]
+    /// fixpoint also returns the normalized [`Fixpoint`] state, so a
+    /// second-tier decision procedure can pick up exactly where
+    /// normalization stopped. `None` on success and on every other failure
+    /// (no fixpoint exists to hand over).
+    pub fn validate_with_fixpoint(
+        &self,
+        original: &Function,
+        optimized: &Function,
+    ) -> (Verdict, Option<Fixpoint>) {
         let deadline = Deadline::starting_now(self.limits.max_time);
         let mut stats = ValidationStats::default();
         let sig = |f: &Function| (f.ret, f.params.iter().map(|&(_, t)| t).collect::<Vec<_>>());
         if sig(original) != sig(optimized) {
             stats.duration = deadline.elapsed();
-            return Verdict::fail(FailReason::Signature, stats);
+            return (Verdict::fail(FailReason::Signature, stats), None);
         }
         let go = match gated_ssa::build_with(original, self.interning) {
             Ok(g) => g,
             Err(e) => {
                 stats.duration = deadline.elapsed();
-                return Verdict::fail(FailReason::Gate(e), stats);
+                return (Verdict::fail(FailReason::Gate(e), stats), None);
             }
         };
         let gt = match gated_ssa::build_with(optimized, self.interning) {
             Ok(g) => g,
             Err(e) => {
                 stats.duration = deadline.elapsed();
-                return Verdict::fail(FailReason::Gate(e), stats);
+                return (Verdict::fail(FailReason::Gate(e), stats), None);
             }
         };
         if deadline.expired() {
             stats.duration = deadline.elapsed();
-            return Verdict::fail(FailReason::Budget, stats);
+            return (Verdict::fail(FailReason::Budget, stats), None);
         }
-        let mut v = self.validate_gated_with_deadline(&go, &gt, &deadline);
+        let (mut v, fix) = self.gated_fixpoint(&go, &gt, &deadline);
         v.stats.duration = deadline.elapsed();
-        v
+        (v, fix)
     }
 
     /// Validate two already-gated functions (exposed for benchmarks that
@@ -313,6 +342,17 @@ impl Validator {
         optimized: &GatedFunction,
         deadline: &Deadline,
     ) -> Verdict {
+        self.gated_fixpoint(original, optimized, deadline).0
+    }
+
+    /// The gated query, keeping the normalized graph on a `RootsDiffer`
+    /// fixpoint (see [`Validator::validate_with_fixpoint`]).
+    fn gated_fixpoint(
+        &self,
+        original: &GatedFunction,
+        optimized: &GatedFunction,
+        deadline: &Deadline,
+    ) -> (Verdict, Option<Fixpoint>) {
         let mut budgets = RuleBudgets { unswitches: self.limits.unswitch_budget };
         let mut stats = ValidationStats::default();
         let mut g = SharedGraph::with_interning(self.interning);
@@ -333,7 +373,9 @@ impl Validator {
             stats.nodes_final = g.live_count(&roots);
             stats.duration = deadline.elapsed();
             stats.divergent_roots = first_divergent_roots(&g, ret_o, ret_t, mem_o, mem_t);
-            return Verdict::fail(FailReason::RootsDiffer, stats);
+            // A root-arity mismatch is not a normalized fixpoint — there is
+            // nothing bit-precise to decide.
+            return (Verdict::fail(FailReason::RootsDiffer, stats), None);
         }
 
         let equal = |g: &SharedGraph| -> bool {
@@ -404,11 +446,12 @@ impl Validator {
         stats.nodes_final = g.live_count(&roots);
         stats.duration = deadline.elapsed();
         match end {
-            End::Proved => Verdict { validated: true, reason: None, stats },
-            End::Budget => Verdict::fail(FailReason::Budget, stats),
+            End::Proved => (Verdict { validated: true, reason: None, stats }, None),
+            End::Budget => (Verdict::fail(FailReason::Budget, stats), None),
             End::Fixpoint => {
                 stats.divergent_roots = first_divergent_roots(&g, ret_o, ret_t, mem_o, mem_t);
-                Verdict::fail(FailReason::RootsDiffer, stats)
+                let fix = Fixpoint { graph: g, ret: ret_o.zip(ret_t), mem: (mem_o, mem_t) };
+                (Verdict::fail(FailReason::RootsDiffer, stats), Some(fix))
             }
         }
     }

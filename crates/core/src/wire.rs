@@ -36,6 +36,7 @@
 use crate::cache::CacheStats;
 use crate::egraph::SaturationStats;
 use crate::rules::RewriteCounts;
+use crate::sat::{SatOutcome, SatSkip, SatStats, SolverStats};
 use crate::triage::{Triage, TriageClass, TriagedVerdict, VerdictClass, Witness};
 use crate::validate::{DivergentRoots, FailReason, Normalizer, ValidationStats, Verdict};
 use gated_ssa::GateError;
@@ -766,6 +767,87 @@ impl FromWire for SaturationStats {
     }
 }
 
+impl ToWire for SolverStats {
+    fn to_wire(&self) -> Json {
+        Json::obj([
+            ("conflicts", Json::num(self.conflicts as f64)),
+            ("decisions", Json::num(self.decisions as f64)),
+            ("propagations", Json::num(self.propagations as f64)),
+            ("restarts", Json::num(self.restarts as f64)),
+            ("learned", Json::num(self.learned as f64)),
+        ])
+    }
+}
+
+impl FromWire for SolverStats {
+    fn from_wire(v: &Json) -> Result<Self, WireError> {
+        Ok(SolverStats {
+            conflicts: v.u64_field("conflicts")?,
+            decisions: v.u64_field("decisions")?,
+            propagations: v.u64_field("propagations")?,
+            restarts: v.u64_field("restarts")?,
+            learned: v.u64_field("learned")?,
+        })
+    }
+}
+
+impl ToWire for SatOutcome {
+    fn to_wire(&self) -> Json {
+        match self {
+            SatOutcome::Skipped(r) => {
+                Json::obj([("kind", Json::str(self.as_str())), ("reason", Json::str(r.as_str()))])
+            }
+            other => Json::obj([("kind", Json::str(other.as_str()))]),
+        }
+    }
+}
+
+impl FromWire for SatOutcome {
+    fn from_wire(v: &Json) -> Result<Self, WireError> {
+        match v.str_field("kind")? {
+            "proved" => Ok(SatOutcome::Proved),
+            "refuted" => Ok(SatOutcome::Refuted),
+            "inconclusive" => Ok(SatOutcome::Inconclusive),
+            "capped" => Ok(SatOutcome::Capped),
+            "skipped" => {
+                let r = v.str_field("reason")?;
+                SatSkip::parse(r)
+                    .map(SatOutcome::Skipped)
+                    .ok_or_else(|| WireError::schema(format!("unknown sat skip reason `{r}`")))
+            }
+            other => Err(WireError::schema(format!("unknown sat outcome `{other}`"))),
+        }
+    }
+}
+
+impl ToWire for SatStats {
+    fn to_wire(&self) -> Json {
+        Json::obj([
+            ("outcome", self.outcome.to_wire()),
+            ("vars", Json::num(self.vars as f64)),
+            ("clauses", Json::num(self.clauses as f64)),
+            ("unrolled", Json::num(self.unrolled as f64)),
+            ("residuals", Json::num(self.residuals as f64)),
+            ("solver", self.solver.to_wire()),
+            ("duration_ns", duration_ns(self.duration)),
+        ])
+    }
+}
+
+impl FromWire for SatStats {
+    fn from_wire(v: &Json) -> Result<Self, WireError> {
+        Ok(SatStats {
+            outcome: v.opt_field("outcome").map(SatOutcome::from_wire).transpose()?,
+            vars: v.usize_field("vars")?,
+            clauses: v.usize_field("clauses")?,
+            unrolled: v.usize_field("unrolled")?,
+            residuals: v.usize_field("residuals")?,
+            solver: SolverStats::from_wire(v.field("solver")?)?,
+            duration: parse_duration(v.field("duration_ns")?)?,
+        })
+    }
+}
+
 impl ToWire for Normalizer {
     fn to_wire(&self) -> Json {
         Json::str(self.as_str())
@@ -1011,6 +1093,7 @@ impl ToWire for Triage {
             ("divergent_roots", self.divergent_roots.to_wire()),
             ("inputs_run", Json::num(self.inputs_run as f64)),
             ("inputs_skipped", Json::num(self.inputs_skipped as f64)),
+            ("sat", self.sat.to_wire()),
         ])
     }
 }
@@ -1027,6 +1110,9 @@ impl FromWire for Triage {
                 .transpose()?,
             inputs_run: v.usize_field("inputs_run")?,
             inputs_skipped: v.usize_field("inputs_skipped")?,
+            // Optional for backward compatibility: lines written before
+            // tier 2 existed decode as never-queried.
+            sat: v.opt_field("sat").map(SatStats::from_wire).transpose()?,
         })
     }
 }

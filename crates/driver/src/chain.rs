@@ -44,7 +44,7 @@ use lir_opt::PassManager;
 use llvm_md_core::cache::fingerprint_canonical;
 use llvm_md_core::cache::{CacheStats, GraphCache};
 use llvm_md_core::triage::{triage_alarm, Triage, TriageClass, TriageOptions};
-use llvm_md_core::{FailReason, Validator};
+use llvm_md_core::{FailReason, SatOptions, Validator};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -327,20 +327,34 @@ struct ChainJob {
 pub struct ChainValidator {
     engine: ValidationEngine,
     triage: Option<TriageOptions>,
+    tier2: Option<SatOptions>,
 }
 
 impl ChainValidator {
     /// A chain validator running its queries on `engine`'s worker pool,
     /// without alarm triage.
     pub fn new(engine: ValidationEngine) -> ChainValidator {
-        ChainValidator { engine, triage: None }
+        ChainValidator { engine, triage: None, tier2: None }
     }
 
     /// A chain validator that also triages every alarm (step-level *and*
     /// end-to-end), so blames carry witnesses and the composition
     /// cross-check can compare miscompile classifications.
     pub fn with_triage(engine: ValidationEngine, opts: TriageOptions) -> ChainValidator {
-        ChainValidator { engine, triage: Some(opts) }
+        ChainValidator { engine, triage: Some(opts), tier2: None }
+    }
+
+    /// [`ChainValidator::with_triage`] plus the tier-2 bit-precise query on
+    /// every in-scope step-level and end-to-end alarm: a blamed pass whose
+    /// alarm tier 2 proves equivalent is a certified false alarm, and a
+    /// replayed SAT counterexample escalates the blame to a real
+    /// miscompile with a witness.
+    pub fn with_tiers(
+        engine: ValidationEngine,
+        topts: TriageOptions,
+        sopts: SatOptions,
+    ) -> ChainValidator {
+        ChainValidator { engine, triage: Some(topts), tier2: Some(sopts) }
     }
 
     /// The underlying engine.
@@ -415,6 +429,7 @@ impl ChainValidator {
             flat.push(ChainJob { step: n, job });
         }
         let triage_opts = self.triage;
+        let tier2_opts = self.tier2;
         let outcomes: Vec<TriagedOutcome> = self.engine.run_jobs(&flat, |cj| {
             let (vin, vout) = if cj.step == n { (0, n) } else { (cj.step, cj.step + 1) };
             let verdict = validator.validate_cached_canonical(
@@ -431,7 +446,20 @@ impl ChainValidator {
                     // as the blamed pass saw it.
                     let original = &versions[vin].functions[cj.job.in_idx];
                     let optimized = &versions[vout].functions[cj.job.out_idx];
-                    Some(triage_alarm(&versions[vin], original, optimized, &verdict, opts))
+                    Some(match &tier2_opts {
+                        // The cached verdict carries no fixpoint, so the
+                        // tiered path re-derives it — alarms only, the
+                        // validated common case never pays.
+                        Some(sopts) => validator.triage_tiered(
+                            &versions[vin],
+                            original,
+                            optimized,
+                            &verdict,
+                            opts,
+                            sopts,
+                        ),
+                        None => triage_alarm(&versions[vin], original, optimized, &verdict, opts),
+                    })
                 }
                 _ => None,
             };

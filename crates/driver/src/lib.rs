@@ -32,6 +32,22 @@
 //! function, so reports still agree at any worker count
 //! ([`Report::same_outcome`] includes the triage classification).
 //!
+//! # The tier-2 upgrade pass
+//!
+//! The `*_tiered` entry points ([`ValidationEngine::llvm_md_tiered`],
+//! [`ValidationEngine::validate_modules_tiered`],
+//! [`ValidationEngine::validate_corpus_tiered`]) extend triage with the
+//! bit-precise SAT query (`llvm_md_core::bitblast` + `llvm_md_core::sat`)
+//! on every in-scope `SuspectedIncomplete` alarm: an UNSAT result upgrades
+//! the pair to proved-equivalent — and the certified output **keeps the
+//! optimized function** (no splice-back; the proof is the certificate
+//! tier 1 could not produce) — while a SAT model that replays as a
+//! concrete divergence escalates to a real miscompile with a minimized
+//! witness. [`Report::proved_equivalent`] counts the upgrades;
+//! [`FunctionRecord::class`] projects each record into the four-way
+//! verdict vocabulary. [`default_tier2`] reads the `LLVM_MD_TIER2` env
+//! var, mirroring [`default_workers`]/[`default_normalizer`].
+//!
 //! # Chain validation
 //!
 //! The one-shot entry points above validate input-vs-final-output, which
@@ -96,8 +112,10 @@ pub use store::{StoreStats, VerdictStore, SHARDS};
 
 use lir::func::{Function, Module};
 use lir_opt::PassManager;
-use llvm_md_core::triage::{triage_alarm, Triage, TriageClass, TriageOptions};
-use llvm_md_core::{FailReason, Normalizer, RewriteCounts, SaturationStats, Validator, Verdict};
+use llvm_md_core::triage::{triage_alarm, Triage, TriageClass, TriageOptions, VerdictClass};
+use llvm_md_core::{
+    FailReason, Normalizer, RewriteCounts, SatOptions, SaturationStats, Validator, Verdict,
+};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
@@ -152,6 +170,20 @@ impl FunctionRecord {
             && self.rounds == other.rounds
             && self.saturation == other.saturation
             && self.triage == other.triage
+    }
+
+    /// The record's [`VerdictClass`] projection, mirroring
+    /// [`llvm_md_core::TriagedVerdict::class`]: untriaged alarms classify
+    /// conservatively as suspected-incomplete; a tier-2 UNSAT proof
+    /// upgrades to [`VerdictClass::ProvedEquivalent`].
+    pub fn class(&self) -> VerdictClass {
+        match &self.triage {
+            None if self.validated => VerdictClass::Validated,
+            None => VerdictClass::SuspectedIncomplete,
+            Some(t) if t.sat_proved() => VerdictClass::ProvedEquivalent,
+            Some(t) if t.class == TriageClass::RealMiscompile => VerdictClass::RealMiscompile,
+            Some(_) => VerdictClass::SuspectedIncomplete,
+        }
     }
 }
 
@@ -211,14 +243,24 @@ impl Report {
     }
 
     /// Alarms the triage layer classified as suspected validator
-    /// incompletenesses (the paper's false alarms).
+    /// incompletenesses (the paper's false alarms) that tier 2 did not
+    /// subsequently prove equivalent.
     pub fn suspected_incomplete(&self) -> usize {
         self.records
             .iter()
             .filter(|r| {
-                r.triage.as_ref().is_some_and(|t| t.class == TriageClass::SuspectedIncomplete)
+                r.triage
+                    .as_ref()
+                    .is_some_and(|t| t.class == TriageClass::SuspectedIncomplete && !t.sat_proved())
             })
             .count()
+    }
+
+    /// Alarms the tier-2 bit-precise query proved equivalent (UNSAT): the
+    /// certified false alarms. Only ever non-zero on reports from the
+    /// `*_tiered` entry points.
+    pub fn proved_equivalent(&self) -> usize {
+        self.records.iter().filter(|r| r.triage.as_ref().is_some_and(|t| t.sat_proved())).count()
     }
 
     /// True when both reports carry the same records modulo wall-clock
@@ -279,6 +321,18 @@ pub fn default_normalizer() -> Normalizer {
         .ok()
         .and_then(|v| Normalizer::parse(v.trim()))
         .unwrap_or_default()
+}
+
+/// Whether tier-2 SAT validation is on by default: `Some(SatOptions)` when
+/// the `LLVM_MD_TIER2` environment variable is set to `1`, `true`, or `on`,
+/// else `None`. Like [`default_workers`], the env override lets CI smokes
+/// flip every entry point that reads it (the `llvm-md` CLI, the bench bins)
+/// without code edits; any other value is ignored.
+pub fn default_tier2() -> Option<SatOptions> {
+    match std::env::var("LLVM_MD_TIER2").ok().as_deref().map(str::trim) {
+        Some("1") | Some("true") | Some("on") => Some(SatOptions::default()),
+        _ => None,
+    }
 }
 
 /// What the pool returns per job: the verdict plus, on triaged entry
@@ -464,18 +518,24 @@ impl ValidationEngine {
         jobs: &[(&Module, &Module, PairJob)],
         validator: &Validator,
         triage: Option<&TriageOptions>,
+        tier2: Option<&SatOptions>,
     ) -> Vec<TriagedOutcome> {
         self.run_jobs(jobs, |(input, output, job)| {
             let original = &input.functions[job.in_idx];
             let optimized = &output.functions[job.out_idx];
-            let verdict = validator.validate(original, optimized);
-            let triage = match triage {
-                Some(opts) if !verdict.validated => {
-                    Some(triage_alarm(input, original, optimized, &verdict, opts))
+            match (triage, tier2) {
+                (Some(topts), Some(sopts)) => {
+                    let tv = validator.validate_tiered(input, original, optimized, topts, sopts);
+                    (tv.verdict, tv.triage)
                 }
-                _ => None,
-            };
-            (verdict, triage)
+                (Some(opts), None) => {
+                    let verdict = validator.validate(original, optimized);
+                    let triage = (!verdict.validated)
+                        .then(|| triage_alarm(input, original, optimized, &verdict, opts));
+                    (verdict, triage)
+                }
+                _ => (validator.validate(original, optimized), None),
+            }
         })
     }
 
@@ -499,9 +559,12 @@ impl ValidationEngine {
             rec.saturation = v.stats.saturation;
             rec.triage = triage;
             total += v.stats.duration;
-            if !rec.validated {
+            // The paper's splice: keep the unoptimized original — unless
+            // tier 2 proved the pair equivalent, in which case the
+            // transformation is certified despite the tier-1 alarm.
+            let proved = rec.triage.as_ref().is_some_and(Triage::sat_proved);
+            if !rec.validated && !proved {
                 if let Some(output) = splice.as_deref_mut() {
-                    // The paper's splice: keep the unoptimized original.
                     output.functions[job.out_idx] = input.functions[job.in_idx].clone();
                 }
             }
@@ -528,7 +591,7 @@ impl ValidationEngine {
         pm: &PassManager,
         validator: &Validator,
     ) -> (Module, Report) {
-        self.llvm_md_impl(input, pm, validator, None)
+        self.llvm_md_impl(input, pm, validator, None, None)
     }
 
     /// [`ValidationEngine::llvm_md`] with alarm triage: every paired alarm
@@ -544,7 +607,24 @@ impl ValidationEngine {
         validator: &Validator,
         opts: &TriageOptions,
     ) -> (Module, Report) {
-        self.llvm_md_impl(input, pm, validator, Some(opts))
+        self.llvm_md_impl(input, pm, validator, Some(opts), None)
+    }
+
+    /// [`ValidationEngine::llvm_md_triaged`] with the tier-2 bit-precise
+    /// query on every in-scope `SuspectedIncomplete` alarm: UNSAT proofs
+    /// upgrade the pair to proved-equivalent **and keep the optimized
+    /// function in the certified output** (no splice-back — the proof is
+    /// the certificate tier 1 could not produce); replayed SAT models
+    /// escalate to real miscompiles with a minimized witness.
+    pub fn llvm_md_tiered(
+        &self,
+        input: &Module,
+        pm: &PassManager,
+        validator: &Validator,
+        topts: &TriageOptions,
+        sopts: &SatOptions,
+    ) -> (Module, Report) {
+        self.llvm_md_impl(input, pm, validator, Some(topts), Some(sopts))
     }
 
     fn llvm_md_impl(
@@ -553,6 +633,7 @@ impl ValidationEngine {
         pm: &PassManager,
         validator: &Validator,
         triage: Option<&TriageOptions>,
+        tier2: Option<&SatOptions>,
     ) -> (Module, Report) {
         let mut output = input.clone();
         let t0 = Instant::now();
@@ -565,7 +646,7 @@ impl ValidationEngine {
             let out_ref: &Module = &output;
             jobs.into_iter().map(|j| (input, out_ref, j)).collect()
         };
-        let verdicts = self.validate_jobs(&job_refs, validator, triage);
+        let verdicts = self.validate_jobs(&job_refs, validator, triage, tier2);
         let jobs: Vec<PairJob> = job_refs.into_iter().map(|(_, _, j)| j).collect();
         let validate_time =
             Self::merge_verdicts(&mut records, &jobs, verdicts, input, Some(&mut output));
@@ -582,7 +663,7 @@ impl ValidationEngine {
         output: &Module,
         validator: &Validator,
     ) -> Report {
-        self.validate_modules_impl(input, output, validator, None)
+        self.validate_modules_impl(input, output, validator, None, None)
     }
 
     /// [`ValidationEngine::validate_modules`] with alarm triage (see
@@ -596,7 +677,20 @@ impl ValidationEngine {
         validator: &Validator,
         opts: &TriageOptions,
     ) -> Report {
-        self.validate_modules_impl(input, output, validator, Some(opts))
+        self.validate_modules_impl(input, output, validator, Some(opts), None)
+    }
+
+    /// [`ValidationEngine::validate_modules_triaged`] with the tier-2
+    /// bit-precise query (see [`ValidationEngine::llvm_md_tiered`]).
+    pub fn validate_modules_tiered(
+        &self,
+        input: &Module,
+        output: &Module,
+        validator: &Validator,
+        topts: &TriageOptions,
+        sopts: &SatOptions,
+    ) -> Report {
+        self.validate_modules_impl(input, output, validator, Some(topts), Some(sopts))
     }
 
     fn validate_modules_impl(
@@ -605,11 +699,12 @@ impl ValidationEngine {
         output: &Module,
         validator: &Validator,
         triage: Option<&TriageOptions>,
+        tier2: Option<&SatOptions>,
     ) -> Report {
         let Pairing { mut records, jobs, dropped: _ } = pair_functions(input, output);
         let job_refs: Vec<(&Module, &Module, PairJob)> =
             jobs.into_iter().map(|j| (input, output, j)).collect();
-        let verdicts = self.validate_jobs(&job_refs, validator, triage);
+        let verdicts = self.validate_jobs(&job_refs, validator, triage, tier2);
         let jobs: Vec<PairJob> = job_refs.into_iter().map(|(_, _, j)| j).collect();
         let validate_time = Self::merge_verdicts(&mut records, &jobs, verdicts, input, None);
         Report { records, opt_time: Duration::ZERO, validate_time }
@@ -644,7 +739,7 @@ impl ValidationEngine {
         pm: &PassManager,
         validator: &Validator,
     ) -> Vec<(Module, Report)> {
-        self.validate_corpus_impl(inputs, pm, validator, None)
+        self.validate_corpus_impl(inputs, pm, validator, None, None)
     }
 
     /// [`ValidationEngine::validate_corpus`] with alarm triage: every
@@ -659,7 +754,21 @@ impl ValidationEngine {
         validator: &Validator,
         opts: &TriageOptions,
     ) -> Vec<(Module, Report)> {
-        self.validate_corpus_impl(inputs, pm, validator, Some(opts))
+        self.validate_corpus_impl(inputs, pm, validator, Some(opts), None)
+    }
+
+    /// [`ValidationEngine::validate_corpus_triaged`] with the tier-2
+    /// bit-precise query on every module's in-scope alarms (see
+    /// [`ValidationEngine::llvm_md_tiered`]).
+    pub fn validate_corpus_tiered(
+        &self,
+        inputs: &[Module],
+        pm: &PassManager,
+        validator: &Validator,
+        topts: &TriageOptions,
+        sopts: &SatOptions,
+    ) -> Vec<(Module, Report)> {
+        self.validate_corpus_impl(inputs, pm, validator, Some(topts), Some(sopts))
     }
 
     fn validate_corpus_impl(
@@ -668,6 +777,7 @@ impl ValidationEngine {
         pm: &PassManager,
         validator: &Validator,
         triage: Option<&TriageOptions>,
+        tier2: Option<&SatOptions>,
     ) -> Vec<(Module, Report)> {
         // Stage 1: optimize, one work unit per module.
         let optimized: Vec<(Module, Duration)> = self.run_jobs(inputs, |m| {
@@ -688,7 +798,7 @@ impl ValidationEngine {
             }
             pairings.push(pairing);
         }
-        let verdicts = self.validate_jobs(&flat, validator, triage);
+        let verdicts = self.validate_jobs(&flat, validator, triage, tier2);
         // Stage 3: demultiplex verdicts back per module, splice, report.
         let mut per_module: Vec<(Vec<PairJob>, Vec<TriagedOutcome>)> =
             (0..inputs.len()).map(|_| (Vec::new(), Vec::new())).collect();

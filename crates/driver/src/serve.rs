@@ -51,7 +51,8 @@ use llvm_md_core::cache::fingerprint;
 use llvm_md_core::triage::{triage_alarm, TriageOptions, TriagedVerdict};
 use llvm_md_core::wire::{self, u64_hex, Json, ToWire};
 use llvm_md_core::{
-    FailReason, Normalizer, ValidationStats, Validator, Verdict, VerdictClass, RULE_ENGINE_VERSION,
+    FailReason, Normalizer, SatOptions, ValidationStats, Validator, Verdict, VerdictClass,
+    RULE_ENGINE_VERSION,
 };
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -87,6 +88,7 @@ pub struct Server {
     engine: ValidationEngine,
     validator: Validator,
     triage: Option<TriageOptions>,
+    tier2: Option<SatOptions>,
     store: VerdictStore,
     batches: AtomicU64,
     functions: AtomicU64,
@@ -113,11 +115,26 @@ impl Server {
             engine,
             validator,
             triage,
+            tier2: None,
             store,
             batches: AtomicU64::new(0),
             functions: AtomicU64::new(0),
             validations_run: AtomicU64::new(0),
         }
+    }
+
+    /// Enable the tier-2 bit-precise query on every in-scope alarm the
+    /// server validates. Tier-2 verdict lines are stamped `tier2: true`,
+    /// and the stamp joins the engine-compatibility check: a store written
+    /// by a tier-1-only server is never replayed by a tier-2 server (or
+    /// vice versa) — those pairs re-validate and the entries are
+    /// overwritten under the current stamp. Alarms are triaged with the
+    /// server's triage options, or [`TriageOptions::default`] when the
+    /// server was built without triage (the tier-2 replay step needs an
+    /// interpreter budget).
+    pub fn with_tier2(mut self, opts: SatOptions) -> Server {
+        self.tier2 = Some(opts);
+        self
     }
 
     /// The underlying verdict store.
@@ -270,8 +287,10 @@ impl Server {
         for job in &jobs {
             let key = (fps_in[job.in_idx], fps_out[job.out_idx]);
             let name = &records[job.slot].name;
-            if let Some(line) =
-                self.store.get(key).filter(|l| line_matches_engine(l, self.validator.normalizer))
+            if let Some(line) = self
+                .store
+                .get(key)
+                .filter(|l| line_matches_engine(l, self.validator.normalizer, self.tier2.is_some()))
             {
                 let validated = line_says_validated(&line);
                 slots[job.slot] = Some(SlotOutcome { line, validated, from_store: true });
@@ -291,10 +310,14 @@ impl Server {
                 pending.push(job);
             }
         }
-        // Pool pass: validate (and triage) the genuinely new pairs.
+        // Pool pass: validate (and triage/tier-2) the genuinely new pairs.
         let outcomes = self.engine.run_jobs(&pending, |job| {
             let original = &input.functions[job.in_idx];
             let optimized = &output_mod.functions[job.out_idx];
+            if let Some(sopts) = &self.tier2 {
+                let topts = self.triage.unwrap_or_default();
+                return self.validator.validate_tiered(&input, original, optimized, &topts, sopts);
+            }
             let verdict = self.validator.validate(original, optimized);
             let triage = match &self.triage {
                 Some(opts) if !verdict.validated => {
@@ -375,6 +398,7 @@ impl Server {
                 ("opt_fp", fp(opt_fp)),
                 ("normalizer", self.validator.normalizer.to_wire()),
                 ("rule_engine", Json::num(RULE_ENGINE_VERSION as f64)),
+                ("tier2", Json::Bool(self.tier2.is_some())),
                 ("class", tv.class().to_wire()),
                 ("verdict", tv.to_wire()),
             ],
@@ -481,12 +505,14 @@ fn fingerprint_by_name(m: &Module, name: &str) -> u64 {
 }
 
 /// Whether a stored verdict line was computed by the same rewrite engine a
-/// server running `normalizer` at [`RULE_ENGINE_VERSION`] would use now. A
-/// line without the stamp predates it and decodes as `destructive` at
-/// engine version 1 — the only configuration that existed then. Mismatches
-/// (and hypothetical corrupt lines) are treated as store misses, never
-/// replayed.
-fn line_matches_engine(line: &str, normalizer: Normalizer) -> bool {
+/// server running `normalizer` at [`RULE_ENGINE_VERSION`] would use now —
+/// at the same tier depth. A line without the engine stamp predates it and
+/// decodes as `destructive` at engine version 1; a line without the `tier2`
+/// stamp predates tier 2 and decodes as tier-1-only. Mismatches (and
+/// hypothetical corrupt lines) are treated as store misses, never replayed
+/// — in particular, a tier-2 server re-validates every stored tier-1-only
+/// verdict so its alarms get the bit-precise query.
+fn line_matches_engine(line: &str, normalizer: Normalizer, tier2: bool) -> bool {
     let Ok(doc) = wire::parse(line) else { return false };
     let line_norm = match doc.get("normalizer") {
         None => Normalizer::Destructive,
@@ -502,7 +528,12 @@ fn line_matches_engine(line: &str, normalizer: Normalizer) -> bool {
             None => return false,
         },
     };
-    line_norm == normalizer && line_engine == RULE_ENGINE_VERSION
+    let line_tier2 = match doc.get("tier2") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return false,
+    };
+    line_norm == normalizer && line_engine == RULE_ENGINE_VERSION && line_tier2 == tier2
 }
 
 /// Whether a stored verdict line's class says "validated" (stored lines

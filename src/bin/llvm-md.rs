@@ -22,16 +22,18 @@
 //! cores), `--normalizer MODE` (`destructive`, `saturate`, or
 //! `saturate-fallback`; default: `LLVM_MD_NORMALIZER` or `destructive`),
 //! `--triage` (classify every alarm by differential interpretation),
-//! `--battery N` (triage battery size). Serve options: `--store DIR`
+//! `--battery N` (triage battery size), `--tier2` (run the bit-precise SAT
+//! query on in-scope alarms; default: on when `LLVM_MD_TIER2` is `1`,
+//! `true`, or `on` — implies triage). Serve options: `--store DIR`
 //! (persistent store directory; in-memory when omitted), `--cap N` (store
 //! entry cap).
 
 use llvm_md::core::wire::{self, Json, ToWire};
-use llvm_md::core::{TriageOptions, Validator};
+use llvm_md::core::{SatOptions, TriageOptions, Validator};
 use llvm_md::driver::serve::Server;
 use llvm_md::driver::store::{VerdictStore, DEFAULT_CAPACITY};
 use llvm_md::driver::{
-    campaign_pass_manager, default_normalizer, ChainValidator, ValidationEngine,
+    campaign_pass_manager, default_normalizer, default_tier2, ChainValidator, ValidationEngine,
 };
 use llvm_md::lir::func::Module;
 use llvm_md::lir::parse::parse_module;
@@ -40,7 +42,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  llvm-md validate <original.ll> <optimized.ll> [--normalizer MODE] [--triage] [--battery N] [--workers N]\n  llvm-md chain <input.ll> [--passes p1,p2,...] [--normalizer MODE] [--triage] [--battery N] [--workers N]\n  llvm-md serve [--stdin | --socket PATH] [--store DIR] [--cap N] [--normalizer MODE] [--triage] [--battery N] [--workers N]\n  (MODE: destructive | saturate | saturate-fallback)"
+        "usage:\n  llvm-md validate <original.ll> <optimized.ll> [--normalizer MODE] [--triage] [--tier2] [--battery N] [--workers N]\n  llvm-md chain <input.ll> [--passes p1,p2,...] [--normalizer MODE] [--triage] [--tier2] [--battery N] [--workers N]\n  llvm-md serve [--stdin | --socket PATH] [--store DIR] [--cap N] [--normalizer MODE] [--triage] [--tier2] [--battery N] [--workers N]\n  (MODE: destructive | saturate | saturate-fallback)"
     );
     std::process::exit(2);
 }
@@ -75,6 +77,7 @@ struct Common {
     engine: ValidationEngine,
     validator: Validator,
     triage: Option<TriageOptions>,
+    tier2: Option<SatOptions>,
 }
 
 fn common_options(args: &mut Vec<String>) -> Common {
@@ -88,15 +91,19 @@ fn common_options(args: &mut Vec<String>) -> Common {
         None => default_normalizer(),
     };
     let triage = take_flag(args, "--triage");
+    let tier2 =
+        if take_flag(args, "--tier2") { Some(SatOptions::default()) } else { default_tier2() };
     let engine = match workers {
         Some(n) => ValidationEngine::with_workers(n),
         None => ValidationEngine::new(),
     };
-    let triage = (triage || battery.is_some()).then(|| TriageOptions {
+    // Tier 2 needs an interpreter budget to replay SAT models: --tier2
+    // implies triage.
+    let triage = (triage || battery.is_some() || tier2.is_some()).then(|| TriageOptions {
         battery: battery.unwrap_or(TriageOptions::default().battery),
         ..TriageOptions::default()
     });
-    Common { engine, validator: Validator { normalizer, ..Validator::new() }, triage }
+    Common { engine, validator: Validator { normalizer, ..Validator::new() }, triage, tier2 }
 }
 
 fn load_module(path: &str) -> Module {
@@ -109,9 +116,14 @@ fn cmd_validate(mut args: Vec<String>) -> ExitCode {
     let opts = common_options(&mut args);
     let [original, optimized] = args.as_slice() else { usage() };
     let (input, output) = (load_module(original), load_module(optimized));
-    let report = match &opts.triage {
-        Some(t) => opts.engine.validate_modules_triaged(&input, &output, &opts.validator, t),
-        None => opts.engine.validate_modules(&input, &output, &opts.validator),
+    let report = match (&opts.triage, &opts.tier2) {
+        (Some(t), Some(s)) => {
+            opts.engine.validate_modules_tiered(&input, &output, &opts.validator, t, s)
+        }
+        (Some(t), None) => {
+            opts.engine.validate_modules_triaged(&input, &output, &opts.validator, t)
+        }
+        _ => opts.engine.validate_modules(&input, &output, &opts.validator),
     };
     let doc = wire::envelope(
         "report",
@@ -140,9 +152,10 @@ fn cmd_chain(mut args: Vec<String>) -> ExitCode {
     let [input_path] = args.as_slice() else { usage() };
     let input = load_module(input_path);
     let pm = campaign_pass_manager(&passes).unwrap_or_else(|e| fail(&e.to_string()));
-    let chain = match opts.triage {
-        Some(t) => ChainValidator::with_triage(opts.engine, t),
-        None => ChainValidator::new(opts.engine),
+    let chain = match (opts.triage, opts.tier2) {
+        (Some(t), Some(s)) => ChainValidator::with_tiers(opts.engine, t, s),
+        (Some(t), None) => ChainValidator::with_triage(opts.engine, t),
+        _ => ChainValidator::new(opts.engine),
     };
     let report = chain.validate_chain(&input, &pm, &opts.validator);
     let doc = wire::envelope(
@@ -183,6 +196,10 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         None => VerdictStore::in_memory(cap),
     };
     let server = Server::new(opts.engine, opts.validator, opts.triage, store);
+    let server = match opts.tier2 {
+        Some(s) => server.with_tier2(s),
+        None => server,
+    };
     match socket {
         Some(path) => serve_socket(&server, &path),
         None => {
